@@ -1,0 +1,39 @@
+//! Criterion version of Table 4: k-core hierarchy construction,
+//! all algorithms + the Hypo bound, on the Table 1 showcase datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nucleus_bench::{load, TABLE1_DATASETS};
+use nucleus_core::prelude::*;
+use nucleus_gen::Scale;
+
+fn bench_core_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_kcore");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for name in TABLE1_DATASETS {
+        let g = load(name, Scale::Medium);
+        for algo in [
+            Algorithm::Naive,
+            Algorithm::Dft,
+            Algorithm::Fnd,
+            Algorithm::Lcps,
+        ] {
+            group.bench_with_input(BenchmarkId::new(algo.to_string(), name), &g, |b, g| {
+                b.iter(|| {
+                    decompose(g, Kind::Core, algo)
+                        .unwrap()
+                        .hierarchy
+                        .nucleus_count()
+                });
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("Hypo", name), &g, |b, g| {
+            b.iter(|| hypo_baseline(g, Kind::Core).1);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_core_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Disjoint-set-forest ablation: the root-augmented forest with both
+//! heuristics (union-by-rank + path compression, Alg. 7) against
+//! crippled variants, on union/find workloads shaped like hierarchy
+//! construction (many unions at one level, finds from deep nodes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nucleus_dsf::RootedForest;
+
+/// No-path-compression variant for the ablation.
+struct NoCompressionForest {
+    parent: Vec<u32>,
+    root: Vec<u32>,
+    rank: Vec<u32>,
+}
+
+impl NoCompressionForest {
+    fn new() -> Self {
+        NoCompressionForest {
+            parent: vec![],
+            root: vec![],
+            rank: vec![],
+        }
+    }
+
+    fn push(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(u32::MAX);
+        self.root.push(u32::MAX);
+        self.rank.push(0);
+        id
+    }
+
+    fn find(&self, mut x: u32) -> u32 {
+        while self.root[x as usize] != u32::MAX {
+            x = self.root[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, x: u32, y: u32) -> u32 {
+        let rx = self.find(x);
+        let ry = self.find(y);
+        if rx == ry {
+            return rx;
+        }
+        // tie-break must match RootedForest::link_r (ties go to `y`)
+        let (w, l) = if self.rank[rx as usize] > self.rank[ry as usize] {
+            (rx, ry)
+        } else {
+            (ry, rx)
+        };
+        self.parent[l as usize] = w;
+        self.root[l as usize] = w;
+        if self.rank[rx as usize] == self.rank[ry as usize] {
+            self.rank[w as usize] += 1;
+        }
+        w
+    }
+}
+
+/// Workload: `n` nodes unioned into chains of length `chain`, then every
+/// node is found `finds` times — the access pattern of BuildHierarchy.
+fn workload_full(n: usize, chain: usize, finds: usize) -> u64 {
+    let mut f = RootedForest::with_capacity(n);
+    for _ in 0..n {
+        f.push();
+    }
+    for c in (0..n).step_by(chain) {
+        for i in 1..chain.min(n - c) {
+            f.union_r(c as u32, (c + i) as u32);
+        }
+    }
+    let mut acc = 0u64;
+    for _ in 0..finds {
+        for x in 0..n as u32 {
+            acc += f.find_r(x) as u64;
+        }
+    }
+    acc
+}
+
+fn workload_no_compression(n: usize, chain: usize, finds: usize) -> u64 {
+    let mut f = NoCompressionForest::new();
+    for _ in 0..n {
+        f.push();
+    }
+    for c in (0..n).step_by(chain) {
+        for i in 1..chain.min(n - c) {
+            f.union(c as u32, (c + i) as u32);
+        }
+    }
+    let mut acc = 0u64;
+    for _ in 0..finds {
+        for x in 0..n as u32 {
+            acc += f.find(x) as u64;
+        }
+    }
+    acc
+}
+
+fn bench_dsf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsf_ablation");
+    group.sample_size(10);
+    let (n, chain, finds) = (100_000usize, 64usize, 4usize);
+    // identical results required for a fair comparison
+    assert_eq!(
+        workload_full(1000, 16, 2),
+        workload_no_compression(1000, 16, 2)
+    );
+    group.bench_with_input(
+        BenchmarkId::new("rooted-forest", "rank+compression"),
+        &n,
+        |b, &n| b.iter(|| workload_full(n, chain, finds)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("rooted-forest", "rank-only"),
+        &n,
+        |b, &n| b.iter(|| workload_no_compression(n, chain, finds)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsf);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion version of Table 5's (3,4) half. Naive is benchmarked at
+//! Small scale only (the paper's 2-day-timeout regime); DFT/FND/Hypo run
+//! at Medium.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nucleus_bench::{load, TABLE1_DATASETS};
+use nucleus_core::prelude::*;
+use nucleus_gen::Scale;
+
+fn bench_nucleus34_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_nucleus34");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for name in TABLE1_DATASETS {
+        let g = load(name, Scale::Medium);
+        for algo in [Algorithm::Dft, Algorithm::Fnd] {
+            group.bench_with_input(BenchmarkId::new(algo.to_string(), name), &g, |b, g| {
+                b.iter(|| {
+                    decompose(g, Kind::Nucleus34, algo)
+                        .unwrap()
+                        .hierarchy
+                        .nucleus_count()
+                });
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("Hypo", name), &g, |b, g| {
+            b.iter(|| hypo_baseline(g, Kind::Nucleus34).1);
+        });
+        let g_small = load(name, Scale::Small);
+        group.bench_with_input(BenchmarkId::new("Naive-small", name), &g_small, |b, g| {
+            b.iter(|| {
+                decompose(g, Kind::Nucleus34, Algorithm::Naive)
+                    .unwrap()
+                    .hierarchy
+                    .nucleus_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nucleus34_algorithms);
+criterion_main!(benches);

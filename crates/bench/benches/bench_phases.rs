@@ -1,0 +1,44 @@
+//! Criterion version of Figure 6: isolate the phases — peeling alone,
+//! DFT's post-traversal alone, and FND end-to-end — so the "FND total ≈
+//! DFT peeling" claim is directly measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nucleus_bench::load;
+use nucleus_core::algo::dft::dft;
+use nucleus_core::algo::fnd::fnd;
+use nucleus_core::prelude::*;
+use nucleus_gen::Scale;
+
+fn bench_phase_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6_phases");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for name in ["stanford3-s", "twitter-hb-s"] {
+        let g = load(name, Scale::Medium);
+        // (2,3): space build + peel, the common denominator
+        group.bench_with_input(BenchmarkId::new("truss/peel-only", name), &g, |b, g| {
+            b.iter(|| {
+                let es = EdgeSpace::new(g);
+                peel(&es).max_lambda
+            });
+        });
+        // DFT post phase with peeling amortized outside the timer
+        let es = EdgeSpace::new(&g);
+        let p = peel(&es);
+        group.bench_with_input(BenchmarkId::new("truss/dft-post-only", name), &g, |b, _| {
+            b.iter(|| dft(&es, &p).0.nucleus_count());
+        });
+        // FND end-to-end (its post phase is the lightweight BuildHierarchy)
+        group.bench_with_input(BenchmarkId::new("truss/fnd-total", name), &g, |b, g| {
+            b.iter(|| {
+                let es = EdgeSpace::new(g);
+                fnd(&es).hierarchy.nucleus_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase_split);
+criterion_main!(benches);

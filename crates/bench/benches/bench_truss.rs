@@ -1,0 +1,37 @@
+//! Criterion version of Table 5's (2,3) half: k-truss-community
+//! hierarchy construction — Naive / TCP* / DFT / FND / Hypo.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nucleus_bench::{load, run_tcp_construction, TABLE1_DATASETS};
+use nucleus_core::prelude::*;
+use nucleus_gen::Scale;
+
+fn bench_truss_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_truss");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for name in TABLE1_DATASETS {
+        let g = load(name, Scale::Medium);
+        for algo in [Algorithm::Naive, Algorithm::Dft, Algorithm::Fnd] {
+            group.bench_with_input(BenchmarkId::new(algo.to_string(), name), &g, |b, g| {
+                b.iter(|| {
+                    decompose(g, Kind::Truss, algo)
+                        .unwrap()
+                        .hierarchy
+                        .nucleus_count()
+                });
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("TCP", name), &g, |b, g| {
+            b.iter(|| run_tcp_construction(g).total());
+        });
+        group.bench_with_input(BenchmarkId::new("Hypo", name), &g, |b, g| {
+            b.iter(|| hypo_baseline(g, Kind::Truss).1);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_truss_algorithms);
+criterion_main!(benches);

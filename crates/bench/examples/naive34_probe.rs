@@ -1,0 +1,25 @@
+//! Probes the Naive (3,4) baseline at Medium scale on the datasets where
+//! it terminates in reasonable time — the honest substitute for the
+//! paper's "did not finish in 2 days" cells (EXPERIMENTS.md, Table 5).
+
+fn main() {
+    for name in ["uk2005-s", "berkeley13-s", "mit-s"] {
+        let g = nucleus_bench::load(name, nucleus_gen::Scale::Medium);
+        let naive = nucleus_bench::run_algorithm(
+            &g,
+            nucleus_core::Kind::Nucleus34,
+            nucleus_core::Algorithm::Naive,
+        );
+        let fnd = nucleus_bench::run_algorithm(
+            &g,
+            nucleus_core::Kind::Nucleus34,
+            nucleus_core::Algorithm::Fnd,
+        );
+        println!(
+            "{name}: naive={:?} fnd={:?} speedup={:.2}x",
+            naive.total(),
+            fnd.total(),
+            naive.total().as_secs_f64() / fnd.total().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Experiment drivers: one function per paper artifact (Tables 1/3/4/5,
+//! Figure 6). The `table*` / `figure6` binaries are thin wrappers so the
+//! integration tests can run every experiment at Small scale.
+
+use nucleus_core::prelude::*;
+use nucleus_gen::Scale;
+
+use crate::stats::dataset_stats;
+use crate::{
+    all_datasets, fmt_duration, load, run_algorithm, run_hypo, run_tcp_construction, speedup,
+    RunResult, Table, TABLE1_DATASETS,
+};
+
+/// Whether the expensive Naive (3,4) baseline should run at this scale.
+pub fn naive34_enabled(scale: Scale) -> bool {
+    scale == Scale::Small || std::env::args().any(|a| a == "--naive34")
+}
+
+/// Table 3: dataset statistics.
+pub fn table3(scale: Scale) -> Table {
+    let mut t = Table::new([
+        "dataset", "|V|", "|E|", "|tri|", "|K4|", "E/V", "tri/E", "K4/tri", "|T12|", "|T*12|",
+        "|T23|", "|T*23|", "|T34|", "|T*34|", "c(T*23)", "c(T*34)",
+    ]);
+    for name in all_datasets() {
+        let g = load(name, scale);
+        let s = dataset_stats(name, &g);
+        t.row([
+            s.name.clone(),
+            s.n.to_string(),
+            s.m.to_string(),
+            s.triangles.to_string(),
+            s.k4s.to_string(),
+            format!("{:.2}", s.edge_ratio()),
+            format!("{:.2}", s.triangle_ratio()),
+            format!("{:.2}", s.k4_ratio()),
+            s.t12.to_string(),
+            s.t12_star.to_string(),
+            s.t23.to_string(),
+            s.t23_star.to_string(),
+            s.t34.to_string(),
+            s.t34_star.to_string(),
+            s.c23.to_string(),
+            s.c34.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 4: k-core decomposition — every algorithm, speedups of the
+/// fastest (expected: LCPS) over the rest.
+pub fn table4(scale: Scale) -> Table {
+    let mut t = Table::new([
+        "dataset",
+        "vs Hypo",
+        "vs Naive",
+        "vs DFT",
+        "vs FND",
+        "LCPS time",
+        "nuclei",
+    ]);
+    for name in all_datasets() {
+        let g = load(name, scale);
+        let hypo = run_hypo(&g, Kind::Core);
+        let naive = run_algorithm(&g, Kind::Core, Algorithm::Naive);
+        let dft = run_algorithm(&g, Kind::Core, Algorithm::Dft);
+        let fnd = run_algorithm(&g, Kind::Core, Algorithm::Fnd);
+        let lcps = run_algorithm(&g, Kind::Core, Algorithm::Lcps);
+        assert_eq!(naive.nuclei, lcps.nuclei, "{name}: hierarchy mismatch");
+        t.row([
+            name.to_string(),
+            speedup(hypo.total(), lcps.total()),
+            speedup(naive.total(), lcps.total()),
+            speedup(dft.total(), lcps.total()),
+            speedup(fnd.total(), lcps.total()),
+            fmt_duration(lcps.total()),
+            lcps.nuclei.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 5, (2,3) half: Hypo / Naive / TCP* / DFT vs the fastest
+/// (expected: FND).
+pub fn table5_truss(scale: Scale) -> Table {
+    let mut t = Table::new([
+        "dataset", "vs Hypo", "vs Naive", "vs TCP*", "vs DFT", "FND time", "nuclei",
+    ]);
+    for name in all_datasets() {
+        let g = load(name, scale);
+        let hypo = run_hypo(&g, Kind::Truss);
+        let naive = run_algorithm(&g, Kind::Truss, Algorithm::Naive);
+        let tcp = run_tcp_construction(&g);
+        let dft = run_algorithm(&g, Kind::Truss, Algorithm::Dft);
+        let fnd = run_algorithm(&g, Kind::Truss, Algorithm::Fnd);
+        assert_eq!(naive.nuclei, fnd.nuclei, "{name}: hierarchy mismatch");
+        t.row([
+            name.to_string(),
+            speedup(hypo.total(), fnd.total()),
+            speedup(naive.total(), fnd.total()),
+            speedup(tcp.total(), fnd.total()),
+            speedup(dft.total(), fnd.total()),
+            fmt_duration(fnd.total()),
+            fnd.nuclei.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 5, (3,4) half. The Naive column is a lower bound at larger
+/// scales (the paper's "did not finish in 2 days" regime) unless
+/// `--naive34` forces it.
+pub fn table5_nucleus34(scale: Scale) -> Table {
+    let run_naive = naive34_enabled(scale);
+    let mut t = Table::new([
+        "dataset", "vs Hypo", "vs Naive", "vs DFT", "FND time", "nuclei",
+    ]);
+    for name in all_datasets() {
+        let g = load(name, scale);
+        let hypo = run_hypo(&g, Kind::Nucleus34);
+        let dft = run_algorithm(&g, Kind::Nucleus34, Algorithm::Dft);
+        let fnd = run_algorithm(&g, Kind::Nucleus34, Algorithm::Fnd);
+        let naive_cell = if run_naive {
+            let naive = run_algorithm(&g, Kind::Nucleus34, Algorithm::Naive);
+            assert_eq!(naive.nuclei, fnd.nuclei, "{name}: hierarchy mismatch");
+            speedup(naive.total(), fnd.total())
+        } else {
+            "skipped*".to_string()
+        };
+        t.row([
+            name.to_string(),
+            speedup(hypo.total(), fnd.total()),
+            naive_cell,
+            speedup(dft.total(), fnd.total()),
+            fmt_duration(fnd.total()),
+            fnd.nuclei.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 1: headline speedups of the best algorithm per decomposition on
+/// the three showcased datasets.
+pub fn table1(scale: Scale) -> Table {
+    let run_naive = naive34_enabled(scale);
+    let mut t = Table::new([
+        "dataset",
+        "core: vs Naive",
+        "core: vs Hypo",
+        "truss: vs Naive",
+        "truss: vs TCP*",
+        "truss: vs Hypo",
+        "(3,4): vs Naive",
+    ]);
+    for name in TABLE1_DATASETS {
+        let g = load(name, scale);
+        // k-core: best = LCPS
+        let lcps = run_algorithm(&g, Kind::Core, Algorithm::Lcps);
+        let core_naive = run_algorithm(&g, Kind::Core, Algorithm::Naive);
+        let core_hypo = run_hypo(&g, Kind::Core);
+        // truss: best = FND
+        let fnd23 = run_algorithm(&g, Kind::Truss, Algorithm::Fnd);
+        let truss_naive = run_algorithm(&g, Kind::Truss, Algorithm::Naive);
+        let truss_tcp = run_tcp_construction(&g);
+        let truss_hypo = run_hypo(&g, Kind::Truss);
+        // (3,4): best = FND
+        let fnd34 = run_algorithm(&g, Kind::Nucleus34, Algorithm::Fnd);
+        let n34 = if run_naive {
+            let naive34 = run_algorithm(&g, Kind::Nucleus34, Algorithm::Naive);
+            speedup(naive34.total(), fnd34.total())
+        } else {
+            "skipped*".to_string()
+        };
+        t.row([
+            name.to_string(),
+            speedup(core_naive.total(), lcps.total()),
+            speedup(core_hypo.total(), lcps.total()),
+            speedup(truss_naive.total(), fnd23.total()),
+            speedup(truss_tcp.total(), fnd23.total()),
+            speedup(truss_hypo.total(), fnd23.total()),
+            n34,
+        ]);
+    }
+    t
+}
+
+/// Figure 6: peeling vs post-processing of DFT and FND, normalized to
+/// total DFT time (in %), for the (2,3) and (3,4) decompositions.
+pub fn figure6(scale: Scale) -> Table {
+    let mut t = Table::new([
+        "dataset",
+        "kind",
+        "DFT peel %",
+        "DFT post %",
+        "FND peel %",
+        "FND post %",
+        "DFT total",
+    ]);
+    for name in all_datasets() {
+        for kind in [Kind::Truss, Kind::Nucleus34] {
+            let g = load(name, scale);
+            let dft = run_algorithm(&g, kind, Algorithm::Dft);
+            let fnd = run_algorithm(&g, kind, Algorithm::Fnd);
+            let base = dft.total().as_secs_f64().max(1e-12);
+            let pct = |d: std::time::Duration| format!("{:.1}", 100.0 * d.as_secs_f64() / base);
+            t.row([
+                name.to_string(),
+                format!("{kind}"),
+                pct(dft.peel),
+                pct(dft.post),
+                pct(fnd.peel),
+                pct(fnd.post),
+                fmt_duration(dft.total()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Convenience: the raw per-algorithm timing grid behind Tables 4/5,
+/// useful for EXPERIMENTS.md appendices.
+pub fn timing_grid(scale: Scale, kind: Kind) -> Table {
+    let mut t = Table::new(["dataset", "algorithm", "peel", "post", "total", "nuclei"]);
+    for name in all_datasets() {
+        let g = load(name, scale);
+        let mut runs: Vec<RunResult> = vec![run_hypo(&g, kind)];
+        for &algo in Algorithm::for_kind(kind) {
+            if algo == Algorithm::Naive && kind == Kind::Nucleus34 && !naive34_enabled(scale) {
+                continue;
+            }
+            runs.push(run_algorithm(&g, kind, algo));
+        }
+        if kind == Kind::Truss {
+            runs.push(run_tcp_construction(&g));
+        }
+        for r in runs {
+            t.row([
+                name.to_string(),
+                r.label.clone(),
+                fmt_duration(r.peel),
+                fmt_duration(r.post),
+                fmt_duration(r.total()),
+                r.nuclei.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_runs_at_small_scale() {
+        // smoke: each driver completes and yields one row per dataset
+        let t = table4(Scale::Small);
+        assert_eq!(t.to_csv().lines().count(), all_datasets().len() + 1);
+        let t = table5_truss(Scale::Small);
+        assert_eq!(t.to_csv().lines().count(), all_datasets().len() + 1);
+        let t = figure6(Scale::Small);
+        assert_eq!(t.to_csv().lines().count(), all_datasets().len() * 2 + 1);
+        let t = table1(Scale::Small);
+        assert_eq!(t.to_csv().lines().count(), TABLE1_DATASETS.len() + 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Dataset statistics for Table 3: |V|, |E|, |△|, |K4|, clique ratios,
+//! sub-nucleus counts |T_{r,s}| / |T*_{r,s}| and |c↓(T*_{r,s})|.
+
+use nucleus_cliques::four_cliques::k4_count;
+use nucleus_cliques::TriangleList;
+use nucleus_core::algo::dft::dft;
+use nucleus_core::algo::fnd::fnd;
+use nucleus_core::peel::peel;
+use nucleus_core::space::{EdgeSpace, TriangleSpace, VertexSpace};
+use nucleus_graph::CsrGraph;
+
+/// One Table 3 row.
+#[derive(Clone, Debug, Default)]
+pub struct DatasetStats {
+    /// Dataset label.
+    pub name: String,
+    /// Vertex count.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// Triangle count.
+    pub triangles: u64,
+    /// Four-clique count.
+    pub k4s: u64,
+    /// |T_{1,2}| (maximal sub-nuclei, from DFT).
+    pub t12: usize,
+    /// |T*_{1,2}| (FND sub-nuclei).
+    pub t12_star: usize,
+    /// |T_{2,3}|.
+    pub t23: usize,
+    /// |T*_{2,3}|.
+    pub t23_star: usize,
+    /// |T_{3,4}|.
+    pub t34: usize,
+    /// |T*_{3,4}|.
+    pub t34_star: usize,
+    /// |c↓(T*_{2,3})|.
+    pub c23: usize,
+    /// |c↓(T*_{3,4})|.
+    pub c34: usize,
+}
+
+impl DatasetStats {
+    /// |E| / |V|.
+    pub fn edge_ratio(&self) -> f64 {
+        self.m as f64 / self.n.max(1) as f64
+    }
+
+    /// |△| / |E|.
+    pub fn triangle_ratio(&self) -> f64 {
+        self.triangles as f64 / self.m.max(1) as f64
+    }
+
+    /// |K4| / |△|.
+    pub fn k4_ratio(&self) -> f64 {
+        self.k4s as f64 / self.triangles.max(1) as f64
+    }
+}
+
+/// Computes the full statistics row for a graph (runs DFT and FND on all
+/// three spaces — this is the expensive, thorough version used by the
+/// Table 3 binary).
+pub fn dataset_stats(name: &str, g: &CsrGraph) -> DatasetStats {
+    let tris = TriangleList::build(g);
+    let mut s = DatasetStats {
+        name: name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        triangles: tris.len() as u64,
+        k4s: k4_count(g, &tris),
+        ..Default::default()
+    };
+    drop(tris);
+
+    let vs = VertexSpace::new(g);
+    let p = peel(&vs);
+    let (_, d) = dft(&vs, &p);
+    s.t12 = d.subnuclei;
+    let f = fnd(&vs);
+    s.t12_star = f.stats.subnuclei;
+
+    let es = EdgeSpace::new(g);
+    let p = peel(&es);
+    let (_, d) = dft(&es, &p);
+    s.t23 = d.subnuclei;
+    let f = fnd(&es);
+    s.t23_star = f.stats.subnuclei;
+    s.c23 = f.stats.adj_connections;
+
+    let ts = TriangleSpace::new(g);
+    let p = peel(&ts);
+    let (_, d) = dft(&ts, &p);
+    s.t34 = d.subnuclei;
+    let f = fnd(&ts);
+    s.t34_star = f.stats.subnuclei;
+    s.c34 = f.stats.adj_connections;
+
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_bridged_cliques_match_table3_regime() {
+        // The uk-2005 regime: |T| == |T*|, c↓ == 0.
+        let g = nucleus_gen::planted::planted_cliques(5, &[6], 1);
+        let s = dataset_stats("uk-mini", &g);
+        assert_eq!(s.n, 30);
+        assert_eq!(s.triangles, 5 * 20); // 5 × C(6,3)
+        assert_eq!(s.k4s, 5 * 15); // 5 × C(6,4)
+        assert_eq!(s.t23, 5);
+        assert_eq!(s.t23_star, 5);
+        assert_eq!(s.c23, 0);
+        assert_eq!(s.c34, 0);
+        assert!(s.t12 >= 1);
+    }
+
+    #[test]
+    fn star_counts_in_t12() {
+        // T* can exceed T: the FND star-graph artifact (§4.3).
+        let g = nucleus_gen::classic::star(8);
+        let s = dataset_stats("star", &g);
+        assert_eq!(s.t12, 1);
+        assert!(s.t12_star >= s.t12);
+        assert_eq!(s.triangles, 0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let g = nucleus_gen::classic::complete(6);
+        let s = dataset_stats("k6", &g);
+        assert!((s.edge_ratio() - 2.5).abs() < 1e-9);
+        assert!((s.triangle_ratio() - 20.0 / 15.0).abs() < 1e-9);
+        assert!((s.k4_ratio() - 15.0 / 20.0).abs() < 1e-9);
+    }
+}

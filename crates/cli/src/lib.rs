@@ -1,0 +1,367 @@
+#![warn(missing_docs)]
+
+//! Implementation of the `nucleus` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `generate` — emit a synthetic graph as an edge list;
+//! * `decompose` — run a nucleus decomposition, print the hierarchy,
+//!   optionally export it as JSON;
+//! * `stats` — basic structural statistics of a graph;
+//! * `query` — k-truss-community membership of an edge via the TCP index.
+//!
+//! Argument parsing is hand-rolled (no external CLI dependency): flags
+//! are `--name value` pairs, collected into [`Args`].
+
+use std::collections::HashMap;
+use std::io::Write;
+
+use nucleus_core::algo::tcp::{tcp_query, TcpIndex};
+use nucleus_core::prelude::*;
+use nucleus_graph::{io, CsrGraph};
+
+/// Parsed command line: subcommand + `--flag value` pairs.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// First positional token (the subcommand).
+    pub command: String,
+    /// Flag → value map.
+    pub flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses from an argv-style iterator (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+        let mut it = argv.into_iter();
+        let command = it.next().unwrap_or_default();
+        let mut flags = HashMap::new();
+        while let Some(tok) = it.next() {
+            let name = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {tok:?}"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), value);
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// Required flag.
+    pub fn need(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    /// Optional flag with default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map(|s| s.as_str()).unwrap_or(default)
+    }
+
+    /// Optional numeric flag.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+nucleus — dense-subgraph hierarchies (Sariyuce & Pinar, VLDB 2016)
+
+USAGE:
+  nucleus generate  --model <er|ba|hk|rmat|ws|planted|cliques|karate> [model flags] --out FILE
+  nucleus decompose --input FILE --kind <core|truss|nucleus34>
+                    [--algo <fnd|dft|naive|lcps>] [--json FILE] [--dot FILE] [--depth N]
+  nucleus stats     --input FILE
+  nucleus query     --input FILE --u U --v V --k K
+
+generate flags: --n N --m M --p P --seed S --blocks B --block-size Z
+examples:
+  nucleus generate --model ba --n 10000 --m 5 --out web.txt
+  nucleus decompose --input web.txt --kind truss --algo fnd --depth 3
+";
+
+/// Runs the CLI; returns the process exit code.
+pub fn run<W: Write>(argv: Vec<String>, out: &mut W) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "generate" => cmd_generate(&args, out),
+        "decompose" => cmd_decompose(&args, out),
+        "stats" => cmd_stats(&args, out),
+        "query" => cmd_query(&args, out),
+        "" | "help" | "--help" | "-h" => {
+            let _ = write!(out, "{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn load_graph(args: &Args) -> Result<CsrGraph, String> {
+    let path = args.need("input")?;
+    io::read_edge_list_file(path).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn cmd_generate<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let model = args.need("model")?;
+    let seed: u64 = args.num("seed", 42u64)?;
+    let n: u32 = args.num("n", 1000u32)?;
+    let g = match model {
+        "er" => {
+            let p: f64 = args.num("p", 0.01f64)?;
+            nucleus_gen::er::gnp(n, p, seed)
+        }
+        "ba" => nucleus_gen::ba::barabasi_albert(n, args.num("m", 3u32)?, seed),
+        "hk" => {
+            nucleus_gen::holme_kim::holme_kim(n, args.num("m", 3u32)?, args.num("p", 0.7f64)?, seed)
+        }
+        "rmat" => nucleus_gen::rmat::rmat(
+            args.num("scale", 12u32)?,
+            args.num("m", 8u32)?,
+            nucleus_gen::rmat::RmatParams::skewed(),
+            seed,
+        ),
+        "ws" => {
+            nucleus_gen::ws::watts_strogatz(n, args.num("k", 6u32)?, args.num("p", 0.1f64)?, seed)
+        }
+        "planted" => nucleus_gen::planted::planted_partition(
+            args.num("blocks", 10u32)?,
+            args.num("block-size", 50u32)?,
+            args.num("p-in", 0.3f64)?,
+            args.num("p-out", 0.01f64)?,
+            seed,
+        ),
+        "cliques" => {
+            nucleus_gen::planted::planted_cliques(args.num("count", 20u32)?, &[10, 16, 22], seed)
+        }
+        "karate" => nucleus_gen::karate::karate_club(),
+        other => return Err(format!("unknown model {other:?}")),
+    };
+    let path = args.need("out")?;
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    io::write_edge_list(&g, file).map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "wrote {path}: {} vertices, {} edges", g.n(), g.m());
+    Ok(())
+}
+
+fn parse_kind(s: &str) -> Result<Kind, String> {
+    match s {
+        "core" | "1,2" => Ok(Kind::Core),
+        "truss" | "2,3" => Ok(Kind::Truss),
+        "nucleus34" | "3,4" => Ok(Kind::Nucleus34),
+        other => Err(format!("unknown kind {other:?} (core|truss|nucleus34)")),
+    }
+}
+
+fn parse_algo(s: &str) -> Result<Algorithm, String> {
+    match s {
+        "fnd" => Ok(Algorithm::Fnd),
+        "dft" => Ok(Algorithm::Dft),
+        "naive" => Ok(Algorithm::Naive),
+        "lcps" => Ok(Algorithm::Lcps),
+        other => Err(format!("unknown algorithm {other:?} (fnd|dft|naive|lcps)")),
+    }
+}
+
+fn cmd_decompose<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let kind = parse_kind(args.need("kind")?)?;
+    let algo = parse_algo(args.get_or("algo", "fnd"))?;
+    let d = decompose(&g, kind, algo).map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "{}", describe(&d));
+    let depth: usize = args.num("depth", 3usize)?;
+    let _ = write!(out, "{}", render_tree(&d.hierarchy, depth, 12));
+    if let Some(path) = args.flags.get("json") {
+        let json = serde_json::to_string_pretty(&d.hierarchy).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "hierarchy exported to {path}");
+    }
+    if let Some(path) = args.flags.get("dot") {
+        let dot = nucleus_core::export::hierarchy_to_dot(&d.hierarchy, 200);
+        std::fs::write(path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "GraphViz tree exported to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_stats<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let tris = nucleus_cliques::TriangleList::build(&g);
+    let k4 = nucleus_cliques::four_cliques::k4_count(&g, &tris);
+    let (_, degeneracy) = nucleus_graph::order::degeneracy_order(&g);
+    let (_, components) = nucleus_graph::traversal::connected_components(&g);
+    let _ = writeln!(out, "vertices     {}", g.n());
+    let _ = writeln!(out, "edges        {}", g.m());
+    let _ = writeln!(out, "triangles    {}", tris.len());
+    let _ = writeln!(out, "four-cliques {k4}");
+    let _ = writeln!(out, "max degree   {}", g.max_degree());
+    let _ = writeln!(out, "degeneracy   {degeneracy}");
+    let _ = writeln!(out, "components   {components}");
+    Ok(())
+}
+
+fn cmd_query<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let u: u32 = args.num("u", 0u32)?;
+    let v: u32 = args.num("v", 0u32)?;
+    let k: u32 = args.num("k", 1u32)?;
+    let es = EdgeSpace::new(&g);
+    let truss = peel(&es);
+    let idx = TcpIndex::build(&g, &truss);
+    match tcp_query(&g, &truss, &idx, u, v, k) {
+        None => {
+            let _ = writeln!(out, "no {k}-truss community contains edge ({u},{v})");
+        }
+        Some(edges) => {
+            let mut verts: Vec<u32> = edges
+                .iter()
+                .flat_map(|&e| {
+                    let (a, b) = g.endpoints(e);
+                    [a, b]
+                })
+                .collect();
+            verts.sort_unstable();
+            verts.dedup();
+            let _ = writeln!(
+                out,
+                "{k}-truss community of ({u},{v}): {} edges over {} vertices",
+                edges.len(),
+                verts.len()
+            );
+            let _ = writeln!(out, "vertices: {verts:?}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(argv: &[&str]) -> Result<String, String> {
+        let mut buf = Vec::new();
+        run(argv.iter().map(|s| s.to_string()).collect(), &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("nucleus-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_to_string(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_to_string(&["bogus"]).is_err());
+    }
+
+    #[test]
+    fn generate_then_decompose_then_stats() {
+        let path = tmp("karate.txt");
+        let out = run_to_string(&["generate", "--model", "karate", "--out", &path]).unwrap();
+        assert!(out.contains("34 vertices"));
+
+        let out = run_to_string(&[
+            "decompose",
+            "--input",
+            &path,
+            "--kind",
+            "core",
+            "--algo",
+            "lcps",
+        ])
+        .unwrap();
+        assert!(out.contains("max λ = 4"), "got: {out}");
+
+        let out = run_to_string(&["stats", "--input", &path]).unwrap();
+        assert!(out.contains("degeneracy   4"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decompose_exports_json() {
+        let graph_path = tmp("er.txt");
+        run_to_string(&[
+            "generate",
+            "--model",
+            "er",
+            "--n",
+            "60",
+            "--p",
+            "0.15",
+            "--out",
+            &graph_path,
+        ])
+        .unwrap();
+        let json_path = tmp("h.json");
+        let out = run_to_string(&[
+            "decompose",
+            "--input",
+            &graph_path,
+            "--kind",
+            "truss",
+            "--json",
+            &json_path,
+        ])
+        .unwrap();
+        assert!(out.contains("exported"));
+        let data = std::fs::read_to_string(&json_path).unwrap();
+        assert!(data.contains("\"nodes\""));
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&json_path).ok();
+    }
+
+    #[test]
+    fn decompose_exports_dot() {
+        let graph_path = tmp("dot-src.txt");
+        run_to_string(&["generate", "--model", "karate", "--out", &graph_path]).unwrap();
+        let dot_path = tmp("h.dot");
+        let out = run_to_string(&[
+            "decompose",
+            "--input",
+            &graph_path,
+            "--kind",
+            "core",
+            "--dot",
+            &dot_path,
+        ])
+        .unwrap();
+        assert!(out.contains("GraphViz"));
+        let dot = std::fs::read_to_string(&dot_path).unwrap();
+        assert!(dot.starts_with("digraph"));
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&dot_path).ok();
+    }
+
+    #[test]
+    fn query_finds_community() {
+        let path = tmp("cliques.txt");
+        run_to_string(&[
+            "generate", "--model", "cliques", "--count", "3", "--out", &path,
+        ])
+        .unwrap();
+        let out = run_to_string(&[
+            "query", "--input", &path, "--u", "0", "--v", "1", "--k", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("community"), "got: {out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flag_parsing_errors_are_reported() {
+        assert!(run_to_string(&["decompose", "--input"]).is_err());
+        assert!(run_to_string(&["decompose", "badflag"]).is_err());
+        let out = run_to_string(&["decompose", "--kind", "core"]);
+        assert!(out.is_err()); // missing --input
+    }
+}

@@ -1,0 +1,96 @@
+//! Four-clique (K4) counting per triangle — the ω₄ degrees peeled by the
+//! (3,4)-nucleus decomposition.
+
+use nucleus_graph::CsrGraph;
+
+use crate::triangles::TriangleList;
+
+/// Intersects three sorted slices, calling `f` for every common element.
+#[inline]
+pub fn intersect3_sorted<F: FnMut(u32)>(a: &[u32], b: &[u32], c: &[u32], mut f: F) {
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() && k < c.len() {
+        let (x, y, z) = (a[i], b[j], c[k]);
+        let max = x.max(y).max(z);
+        if x == y && y == z {
+            f(x);
+            i += 1;
+            j += 1;
+            k += 1;
+        } else {
+            if x < max {
+                i += 1;
+            }
+            if y < max {
+                j += 1;
+            }
+            if z < max {
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Number of K4s containing each triangle of `tris`
+/// (`ω₄(t) = |N(u) ∩ N(v) ∩ N(w)|` for `t = {u, v, w}`).
+pub fn k4_degrees(g: &CsrGraph, tris: &TriangleList) -> Vec<u32> {
+    let mut deg = vec![0u32; tris.len()];
+    for (t, &[u, v, w]) in tris.vertices.iter().enumerate() {
+        let mut c = 0u32;
+        intersect3_sorted(g.neighbors(u), g.neighbors(v), g.neighbors(w), |_| c += 1);
+        deg[t] = c;
+    }
+    deg
+}
+
+/// Total number of K4s in `g` (each K4 contains 4 triangles).
+pub fn k4_count(g: &CsrGraph, tris: &TriangleList) -> u64 {
+    let total: u64 = k4_degrees(g, tris).iter().map(|&d| d as u64).sum();
+    debug_assert_eq!(total % 4, 0);
+    total / 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kclique::count_cliques;
+
+    fn complete(n: u32) -> CsrGraph {
+        let mut edges = vec![];
+        for u in 0..n {
+            for v in u + 1..n {
+                edges.push((u, v));
+            }
+        }
+        CsrGraph::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn k4_count_of_k5() {
+        let g = complete(5);
+        let tl = TriangleList::build(&g);
+        assert_eq!(k4_count(&g, &tl), 5); // C(5,4)
+        assert_eq!(count_cliques(&g, 4), 5);
+        // every triangle of K5 is in exactly 2 K4s
+        assert!(k4_degrees(&g, &tl).iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn k4_free_graph() {
+        // diamond has triangles but no K4
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let tl = TriangleList::build(&g);
+        assert_eq!(k4_count(&g, &tl), 0);
+        assert!(k4_degrees(&g, &tl).iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn intersect3_basics() {
+        let mut out = vec![];
+        intersect3_sorted(&[1, 3, 5, 7], &[2, 3, 5, 8], &[3, 4, 5, 9], |x| out.push(x));
+        assert_eq!(out, vec![3, 5]);
+        out.clear();
+        intersect3_sorted(&[], &[1], &[1], |x| out.push(x));
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Triangle and small-clique enumeration substrate.
+//!
+//! The (2,3)- and (3,4)-nucleus decompositions peel edges by triangle
+//! count and triangles by four-clique count respectively, so this crate
+//! provides:
+//!
+//! * [`triangles`] — oriented triangle enumeration (degeneracy-ordered,
+//!   the standard `O(m · degeneracy)` scheme), per-edge support counts,
+//!   and a materialized [`TriangleList`];
+//! * [`triangle_index`] — [`TriangleIndex`], a per-edge CSR of
+//!   `(third-vertex, triangle-id)` pairs enabling `O(log deg)` triangle
+//!   id lookups without hash maps (hot-path requirement, see DESIGN.md);
+//! * [`four_cliques`] — per-triangle K4 degrees (the ω₄ values peeled by
+//!   the (3,4) decomposition);
+//! * [`kclique`] — a simple recursive k-clique enumerator used as the
+//!   brute-force reference in tests and for Table 3 statistics.
+
+pub mod four_cliques;
+pub mod kclique;
+pub mod parallel;
+pub mod triangle_index;
+pub mod triangles;
+
+pub use triangle_index::TriangleIndex;
+pub use triangles::TriangleList;

@@ -1,0 +1,200 @@
+//! Parallel triangle counting with `std::thread::scope` — a first step
+//! toward the paper's closing future-work item ("adapting the existing
+//! parallel peeling algorithms for the hierarchy computation"). The
+//! clique-enumeration half of the peeling phase parallelizes trivially;
+//! this module provides it without any extra dependency.
+
+use nucleus_graph::CsrGraph;
+
+use crate::triangles::OrientedAdjacency;
+
+/// Splits `0..n` into `parts` ranges with approximately equal total
+/// weight (`weight[i]` per item). Returns range boundaries.
+fn balanced_ranges(weights: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let total: usize = weights.iter().sum();
+    let per_part = total.div_ceil(parts.max(1)).max(1);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (i, w) in weights.iter().enumerate() {
+        acc += w;
+        if acc >= per_part {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < weights.len() {
+        out.push(start..weights.len());
+    }
+    if out.is_empty() {
+        out.push(0..weights.len());
+    }
+    out
+}
+
+/// Counts triangles using `threads` worker threads.
+pub fn triangle_count_parallel(g: &CsrGraph, threads: usize) -> u64 {
+    let oriented = OrientedAdjacency::build(g);
+    let weights: Vec<usize> = (0..g.n() as u32)
+        // enumeration cost at u is ~ Σ_{v ∈ out(u)} (|out(u)| + |out(v)|);
+        // |out(u)|² is a serviceable proxy
+        .map(|u| {
+            let d = oriented.out(u).len();
+            d * d + d
+        })
+        .collect();
+    let ranges = balanced_ranges(&weights, threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            let oriented = &oriented;
+            handles.push(scope.spawn(move || {
+                let mut count = 0u64;
+                for u in range {
+                    let out_u = oriented.out(u as u32);
+                    for &(v, _) in out_u {
+                        let out_v = oriented.out(v);
+                        let (mut i, mut j) = (0usize, 0usize);
+                        while i < out_u.len() && j < out_v.len() {
+                            match out_u[i].0.cmp(&out_v[j].0) {
+                                std::cmp::Ordering::Less => i += 1,
+                                std::cmp::Ordering::Greater => j += 1,
+                                std::cmp::Ordering::Equal => {
+                                    count += 1;
+                                    i += 1;
+                                    j += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                count
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum()
+    })
+}
+
+/// Computes per-edge triangle supports using `threads` worker threads.
+/// Each worker accumulates into a private array; partials are summed at
+/// the end (no atomics on the hot path).
+pub fn edge_supports_parallel(g: &CsrGraph, threads: usize) -> Vec<u32> {
+    let oriented = OrientedAdjacency::build(g);
+    let weights: Vec<usize> = (0..g.n() as u32)
+        .map(|u| {
+            let d = oriented.out(u).len();
+            d * d + d
+        })
+        .collect();
+    let ranges = balanced_ranges(&weights, threads);
+    let m = g.m();
+    let partials: Vec<Vec<u32>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            let oriented = &oriented;
+            handles.push(scope.spawn(move || {
+                let mut support = vec![0u32; m];
+                for u in range {
+                    let out_u = oriented.out(u as u32);
+                    for &(v, e_uv) in out_u {
+                        let out_v = oriented.out(v);
+                        let (mut i, mut j) = (0usize, 0usize);
+                        while i < out_u.len() && j < out_v.len() {
+                            match out_u[i].0.cmp(&out_v[j].0) {
+                                std::cmp::Ordering::Less => i += 1,
+                                std::cmp::Ordering::Greater => j += 1,
+                                std::cmp::Ordering::Equal => {
+                                    support[e_uv as usize] += 1;
+                                    support[out_u[i].1 as usize] += 1;
+                                    support[out_v[j].1 as usize] += 1;
+                                    i += 1;
+                                    j += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                support
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut total = vec![0u32; m];
+    for partial in partials {
+        for (t, p) in total.iter_mut().zip(partial) {
+            *t += p;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangles::{edge_supports, triangle_count};
+
+    fn complete(n: u32) -> CsrGraph {
+        let mut edges = vec![];
+        for u in 0..n {
+            for v in u + 1..n {
+                edges.push((u, v));
+            }
+        }
+        CsrGraph::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn matches_serial_on_clique() {
+        let g = complete(20);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(triangle_count_parallel(&g, threads), triangle_count(&g));
+            assert_eq!(edge_supports_parallel(&g, threads), edge_supports(&g));
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_random_graph() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let edges: Vec<(u32, u32)> = (0..2000)
+            .map(|_| (rng.gen_range(0..300u32), rng.gen_range(0..300u32)))
+            .collect();
+        let g = CsrGraph::from_edges(300, &edges);
+        assert_eq!(triangle_count_parallel(&g, 4), triangle_count(&g));
+        assert_eq!(edge_supports_parallel(&g, 4), edge_supports(&g));
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(triangle_count_parallel(&g, 4), 0);
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        assert_eq!(triangle_count_parallel(&g, 4), 0);
+        assert_eq!(edge_supports_parallel(&g, 4), vec![0]);
+    }
+
+    #[test]
+    fn balanced_ranges_cover_everything() {
+        let w = vec![5, 1, 1, 1, 10, 1, 1];
+        let ranges = balanced_ranges(&w, 3);
+        let mut covered = vec![false; w.len()];
+        for r in &ranges {
+            for i in r.clone() {
+                assert!(!covered[i], "overlap at {i}");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+        // degenerate cases
+        assert_eq!(balanced_ranges(&[], 3).len(), 1);
+        assert_eq!(balanced_ranges(&[1], 1), vec![0..1]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-edge triangle index: hash-free triangle-id lookups.
+
+use nucleus_graph::CsrGraph;
+
+use crate::triangles::TriangleList;
+
+/// For every edge `e = {u, v}`, the sorted list of `(w, tid)` pairs such
+/// that `{u, v, w}` is the triangle with id `tid`.
+///
+/// This replaces a `HashMap<(u32,u32,u32), u32>` on the (3,4) peeling hot
+/// path: a triangle id is found with one binary search in the third-vertex
+/// list of any of its edges.
+#[derive(Clone, Debug)]
+pub struct TriangleIndex {
+    offsets: Vec<usize>,
+    /// `(third vertex, triangle id)`, sorted by third vertex per edge.
+    entries: Vec<(u32, u32)>,
+}
+
+impl TriangleIndex {
+    /// Builds the index for `g` from its materialized triangle list.
+    pub fn build(g: &CsrGraph, tris: &TriangleList) -> Self {
+        let m = g.m();
+        let mut counts = vec![0usize; m + 1];
+        for es in &tris.edges {
+            for &e in es {
+                counts[e as usize + 1] += 1;
+            }
+        }
+        for i in 1..=m {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut entries = vec![(0u32, 0u32); offsets[m]];
+        let mut cursor = offsets.clone();
+        for (tid, (vs, es)) in tris.vertices.iter().zip(&tris.edges).enumerate() {
+            let [u, v, w] = *vs;
+            let thirds = [w, v, u]; // third vertex for edges (u,v), (u,w), (v,w)
+            for (&e, &third) in es.iter().zip(&thirds) {
+                entries[cursor[e as usize]] = (third, tid as u32);
+                cursor[e as usize] += 1;
+            }
+        }
+        for e in 0..m {
+            entries[offsets[e]..offsets[e + 1]].sort_unstable();
+        }
+        TriangleIndex { offsets, entries }
+    }
+
+    /// `(third vertex, triangle id)` pairs of edge `e`, sorted by vertex.
+    #[inline]
+    pub fn thirds(&self, e: u32) -> &[(u32, u32)] {
+        &self.entries[self.offsets[e as usize]..self.offsets[e as usize + 1]]
+    }
+
+    /// Id of the triangle formed by edge `e` and vertex `w`, if any.
+    #[inline]
+    pub fn tid(&self, e: u32, w: u32) -> Option<u32> {
+        let slice = self.thirds(e);
+        slice
+            .binary_search_by_key(&w, |&(third, _)| third)
+            .ok()
+            .map(|i| slice[i].1)
+    }
+
+    /// Total number of (edge, triangle) incidences (= 3 × #triangles).
+    pub fn incidence_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn lookups_match_list() {
+        let g = diamond();
+        let tl = TriangleList::build(&g);
+        let idx = TriangleIndex::build(&g, &tl);
+        assert_eq!(idx.incidence_count(), 3 * tl.len());
+        for (tid, (vs, es)) in tl.vertices.iter().zip(&tl.edges).enumerate() {
+            let [u, v, w] = *vs;
+            assert_eq!(idx.tid(es[0], w), Some(tid as u32));
+            assert_eq!(idx.tid(es[1], v), Some(tid as u32));
+            assert_eq!(idx.tid(es[2], u), Some(tid as u32));
+        }
+    }
+
+    #[test]
+    fn absent_triangles_return_none() {
+        let g = diamond();
+        let tl = TriangleList::build(&g);
+        let idx = TriangleIndex::build(&g, &tl);
+        let e03 = g.edge_id(0, 1).unwrap();
+        assert_eq!(idx.tid(e03, 3), None); // {0,1,3} is not a triangle
+    }
+
+    #[test]
+    fn shared_edge_lists_both_triangles() {
+        let g = diamond();
+        let tl = TriangleList::build(&g);
+        let idx = TriangleIndex::build(&g, &tl);
+        let shared = g.edge_id(1, 2).unwrap();
+        let thirds: Vec<u32> = idx.thirds(shared).iter().map(|&(w, _)| w).collect();
+        assert_eq!(thirds, vec![0, 3]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Oriented triangle enumeration and per-edge support counting.
+
+use nucleus_graph::order::degeneracy_order;
+use nucleus_graph::CsrGraph;
+
+/// Adjacency oriented by degeneracy rank: for every vertex, the
+/// `(neighbor, edge_id)` pairs of neighbors with *higher* rank, sorted by
+/// neighbor id. Orienting by a degeneracy order bounds out-degrees by the
+/// degeneracy, which caps triangle enumeration at `O(m · degeneracy)`.
+pub(crate) struct OrientedAdjacency {
+    offsets: Vec<usize>,
+    /// (neighbor, undirected edge id), sorted by neighbor within a vertex.
+    arcs: Vec<(u32, u32)>,
+}
+
+impl OrientedAdjacency {
+    pub(crate) fn build(g: &CsrGraph) -> Self {
+        let (order, _) = degeneracy_order(g);
+        let rank = &order.rank;
+        let n = g.n();
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n as u32 {
+            let rv = rank[v as usize];
+            let out = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| rank[w as usize] > rv)
+                .count();
+            offsets[v as usize + 1] = out;
+        }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut arcs = vec![(0u32, 0u32); offsets[n]];
+        let mut cursor = offsets.clone();
+        for v in 0..n as u32 {
+            let rv = rank[v as usize];
+            for (w, eid) in g.arcs(v) {
+                if rank[w as usize] > rv {
+                    arcs[cursor[v as usize]] = (w, eid);
+                    cursor[v as usize] += 1;
+                }
+            }
+        }
+        // `g.arcs` yields neighbors in sorted order, so each out-list is
+        // already sorted by neighbor id.
+        OrientedAdjacency { offsets, arcs }
+    }
+
+    #[inline]
+    pub(crate) fn out(&self, v: u32) -> &[(u32, u32)] {
+        &self.arcs[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+}
+
+/// Calls `f(u, v, w, e_uv, e_uw, e_vw)` once per triangle of `g`.
+///
+/// The vertex triple is *not* sorted by id (it follows the orientation);
+/// the three edge ids always correspond to the pairs named in the
+/// signature.
+pub fn for_each_triangle<F: FnMut(u32, u32, u32, u32, u32, u32)>(g: &CsrGraph, mut f: F) {
+    let oriented = OrientedAdjacency::build(g);
+    for u in 0..g.n() as u32 {
+        let out_u = oriented.out(u);
+        for &(v, e_uv) in out_u {
+            let out_v = oriented.out(v);
+            // Sorted-list intersection of out(u) and out(v).
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < out_u.len() && j < out_v.len() {
+                let (a, e_uw) = out_u[i];
+                let (b, e_vw) = out_v[j];
+                match a.cmp(&b) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        f(u, v, a, e_uv, e_uw, e_vw);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Number of triangles in `g`.
+pub fn triangle_count(g: &CsrGraph) -> u64 {
+    let mut c = 0u64;
+    for_each_triangle(g, |_, _, _, _, _, _| c += 1);
+    c
+}
+
+/// Per-edge triangle counts (the *support* peeled by the (2,3)
+/// decomposition), indexed by edge id.
+pub fn edge_supports(g: &CsrGraph) -> Vec<u32> {
+    let mut support = vec![0u32; g.m()];
+    for_each_triangle(g, |_, _, _, e1, e2, e3| {
+        support[e1 as usize] += 1;
+        support[e2 as usize] += 1;
+        support[e3 as usize] += 1;
+    });
+    support
+}
+
+/// Materialized triangle list: each triangle's vertices (sorted by id)
+/// and edge ids, identified by a dense triangle id in enumeration order.
+#[derive(Clone, Debug)]
+pub struct TriangleList {
+    /// Vertex triples, each sorted ascending.
+    pub vertices: Vec<[u32; 3]>,
+    /// Edge ids `[e_uv, e_uw, e_vw]` matching the sorted vertex triple
+    /// `[u, v, w]` (i.e. `[id(u,v), id(u,w), id(v,w)]`).
+    pub edges: Vec<[u32; 3]>,
+}
+
+impl TriangleList {
+    /// Enumerates and stores all triangles of `g`.
+    pub fn build(g: &CsrGraph) -> Self {
+        let mut vertices = Vec::new();
+        let mut edges = Vec::new();
+        for_each_triangle(g, |a, b, c, e_ab, e_ac, e_bc| {
+            // Sort the triple by vertex id, permuting edge ids to match:
+            // edge[i] joins the two vertices other than vertices[2 - ?]...
+            // Simplest correct mapping: recompute which edge joins which
+            // pair after sorting.
+            let mut vs = [a, b, c];
+            vs.sort_unstable();
+            let [u, v, w] = vs;
+            let pick = |x: u32, y: u32| -> u32 {
+                if (x, y) == (a.min(b), a.max(b)) {
+                    e_ab
+                } else if (x, y) == (a.min(c), a.max(c)) {
+                    e_ac
+                } else {
+                    debug_assert_eq!((x, y), (b.min(c), b.max(c)));
+                    e_bc
+                }
+            };
+            vertices.push(vs);
+            edges.push([pick(u, v), pick(u, w), pick(v, w)]);
+        });
+        TriangleList { vertices, edges }
+    }
+
+    /// Number of triangles.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True when the graph is triangle-free.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kclique::count_cliques;
+
+    fn k5() -> CsrGraph {
+        let mut edges = vec![];
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                edges.push((u, v));
+            }
+        }
+        CsrGraph::from_edges(5, &edges)
+    }
+
+    #[test]
+    fn k5_has_ten_triangles() {
+        assert_eq!(triangle_count(&k5()), 10);
+        assert_eq!(count_cliques(&k5(), 3), 10);
+    }
+
+    #[test]
+    fn supports_of_diamond() {
+        // 0-1-2 triangle + 1-2-3 triangle; shared edge (1,2) has support 2.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let s = edge_supports(&g);
+        let shared = g.edge_id(1, 2).unwrap();
+        assert_eq!(s[shared as usize], 2);
+        let outer = g.edge_id(0, 1).unwrap();
+        assert_eq!(s[outer as usize], 1);
+        assert_eq!(s.iter().sum::<u32>(), 6); // 2 triangles × 3 edges
+    }
+
+    #[test]
+    fn triangle_free_graph() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]); // C4
+        assert_eq!(triangle_count(&g), 0);
+        assert!(TriangleList::build(&g).is_empty());
+        assert!(edge_supports(&g).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn triangle_list_edges_match_vertices() {
+        let g = k5();
+        let tl = TriangleList::build(&g);
+        assert_eq!(tl.len(), 10);
+        for (vs, es) in tl.vertices.iter().zip(&tl.edges) {
+            let [u, v, w] = *vs;
+            assert!(u < v && v < w);
+            assert_eq!(es[0], g.edge_id(u, v).unwrap());
+            assert_eq!(es[1], g.edge_id(u, w).unwrap());
+            assert_eq!(es[2], g.edge_id(v, w).unwrap());
+        }
+    }
+
+    #[test]
+    fn each_triangle_reported_once() {
+        let g = k5();
+        let tl = TriangleList::build(&g);
+        let mut seen = tl.vertices.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 10);
+    }
+}

@@ -1,0 +1,69 @@
+//! The "Hypo" baseline: the hypothetical best possible traversal-based
+//! algorithm. It performs the peeling plus exactly **one** sweep over all
+//! cells and their containers — the minimum work any traversal-based
+//! hierarchy construction must do — without producing a hierarchy.
+//! Beating Hypo (as FND does, Tables 4/5) proves an algorithm does
+//! better than *any* conceivable traversal-based approach.
+
+use crate::space::PeelSpace;
+
+/// One full sweep over every cell and container; returns the number of
+/// s-connectivity components so the work cannot be optimized away.
+pub fn hypo_sweep<S: PeelSpace>(space: &S) -> usize {
+    let n = space.cell_count();
+    let mut visited = vec![false; n];
+    let mut queue: Vec<u32> = Vec::new();
+    let mut components = 0usize;
+    for c0 in 0..n as u32 {
+        if visited[c0 as usize] {
+            continue;
+        }
+        components += 1;
+        visited[c0 as usize] = true;
+        queue.clear();
+        queue.push(c0);
+        let mut head = 0usize;
+        while head < queue.len() {
+            let x = queue[head];
+            head += 1;
+            space.for_each_container(x, |others| {
+                for &v in others {
+                    if !visited[v as usize] {
+                        visited[v as usize] = true;
+                        queue.push(v);
+                    }
+                }
+            });
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{EdgeSpace, VertexSpace};
+
+    #[test]
+    fn counts_vertex_components() {
+        let g = nucleus_graph::CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let vs = VertexSpace::new(&g);
+        assert_eq!(hypo_sweep(&vs), 3);
+    }
+
+    #[test]
+    fn counts_triangle_connectivity_components() {
+        // bowtie: the two triangles are separate edge-components under
+        // triangle connectivity
+        let g = nucleus_gen::paper::fig3_bowtie();
+        let es = EdgeSpace::new(&g);
+        assert_eq!(hypo_sweep(&es), 2);
+    }
+
+    #[test]
+    fn empty_space() {
+        let g = nucleus_graph::CsrGraph::from_edges(0, &[]);
+        let vs = VertexSpace::new(&g);
+        assert_eq!(hypo_sweep(&vs), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Hierarchy-skeleton analytics — the paper's first open question (§6):
+//! *"looking at the T_{r,s}s, which are many more than the k-(r,s)
+//! nuclei, might reveal more insight about networks."*
+//!
+//! This module exposes the sub-nucleus structure (the skeleton before
+//! contraction): per-sub-nucleus sizes and λ, the λ-level profile, and
+//! summary statistics used in Table 3 and for exploratory analysis.
+
+use crate::hierarchy::NO_NODE;
+use crate::peel::Peeling;
+use crate::skeleton::Skeleton;
+use crate::space::PeelSpace;
+
+/// One sub-(r,s) nucleus (T_{r,s}) of the skeleton.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubNucleusInfo {
+    /// λ of its cells.
+    pub lambda: u32,
+    /// Number of cells it holds.
+    pub size: u32,
+}
+
+/// Skeleton-level view of a decomposition.
+#[derive(Clone, Debug, Default)]
+pub struct SkeletonProfile {
+    /// Every sub-nucleus, in discovery order.
+    pub sub_nuclei: Vec<SubNucleusInfo>,
+    /// Number of cells with λ = 0 (outside every sub-nucleus).
+    pub unassigned_cells: usize,
+}
+
+impl SkeletonProfile {
+    /// Number of sub-nuclei (|T_{r,s}| when built via DFT).
+    pub fn count(&self) -> usize {
+        self.sub_nuclei.len()
+    }
+
+    /// Largest sub-nucleus size.
+    pub fn max_size(&self) -> u32 {
+        self.sub_nuclei.iter().map(|s| s.size).max().unwrap_or(0)
+    }
+
+    /// Mean sub-nucleus size.
+    pub fn mean_size(&self) -> f64 {
+        if self.sub_nuclei.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.sub_nuclei.iter().map(|s| s.size as u64).sum();
+        total as f64 / self.sub_nuclei.len() as f64
+    }
+
+    /// Number of sub-nuclei per λ level (index = λ).
+    pub fn per_level(&self) -> Vec<usize> {
+        let max = self.sub_nuclei.iter().map(|s| s.lambda).max().unwrap_or(0);
+        let mut out = vec![0usize; max as usize + 1];
+        for s in &self.sub_nuclei {
+            out[s.lambda as usize] += 1;
+        }
+        out
+    }
+
+    /// Fraction of singleton sub-nuclei — a skew indicator: near 1.0
+    /// means the skeleton is as fine as the cell set (the adversarial
+    /// upper bound of §4.2), near 0 means large coherent regions.
+    pub fn singleton_fraction(&self) -> f64 {
+        if self.sub_nuclei.is_empty() {
+            return 0.0;
+        }
+        let singles = self.sub_nuclei.iter().filter(|s| s.size == 1).count();
+        singles as f64 / self.sub_nuclei.len() as f64
+    }
+}
+
+/// Builds the sub-nucleus profile of a peeled space by running the DFT
+/// traversal and reading the skeleton *before* contraction.
+pub fn skeleton_profile<S: PeelSpace>(space: &S, peeling: &Peeling) -> SkeletonProfile {
+    // Re-run the DFT sub-nucleus discovery, but capture sizes.
+    // (dft() consumes its skeleton into the hierarchy, so analytics
+    // re-derives it; cost is one extra traversal, analysis-time only.)
+    let (skeleton, _) = crate::algo::dft::dft_skeleton(space, peeling);
+    profile_from_skeleton(&skeleton)
+}
+
+/// Profile from a raw skeleton (used by tests and by FND analytics).
+pub fn profile_from_skeleton(sk: &Skeleton) -> SkeletonProfile {
+    let mut sizes = vec![0u32; sk.lambda.len()];
+    let mut unassigned = 0usize;
+    for &c in &sk.comp {
+        if c == NO_NODE {
+            unassigned += 1;
+        } else {
+            sizes[c as usize] += 1;
+        }
+    }
+    SkeletonProfile {
+        sub_nuclei: sk
+            .lambda
+            .iter()
+            .zip(&sizes)
+            .map(|(&lambda, &size)| SubNucleusInfo { lambda, size })
+            .collect(),
+        unassigned_cells: unassigned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peel::peel;
+    use crate::space::VertexSpace;
+
+    #[test]
+    fn fig4_has_five_sub_nuclei() {
+        // three λ=3 towers + two λ=2 bridges = 5 T₁,₂s, but only 4 nuclei
+        let (g, _) = nucleus_gen::paper::fig4_chained_towers();
+        let vs = VertexSpace::new(&g);
+        let p = peel(&vs);
+        let prof = skeleton_profile(&vs, &p);
+        assert_eq!(prof.count(), 5);
+        let per = prof.per_level();
+        assert_eq!(per[2], 2);
+        assert_eq!(per[3], 3);
+        assert_eq!(prof.unassigned_cells, 0);
+        assert_eq!(prof.max_size(), 4);
+        assert!((prof.mean_size() - 16.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_vertices_are_unassigned() {
+        let g = nucleus_graph::CsrGraph::from_edges(5, &[(0, 1)]);
+        let vs = VertexSpace::new(&g);
+        let p = peel(&vs);
+        let prof = skeleton_profile(&vs, &p);
+        assert_eq!(prof.unassigned_cells, 3);
+        assert_eq!(prof.count(), 1);
+        assert_eq!(prof.singleton_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_profile_is_sane() {
+        let p = SkeletonProfile::default();
+        assert_eq!(p.count(), 0);
+        assert_eq!(p.max_size(), 0);
+        assert_eq!(p.mean_size(), 0.0);
+        assert_eq!(p.singleton_fraction(), 0.0);
+    }
+}

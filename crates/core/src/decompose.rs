@@ -1,0 +1,340 @@
+//! High-level decomposition API: pick a space and an algorithm, get a
+//! hierarchy plus phase timings and statistics.
+
+use std::time::{Duration, Instant};
+
+use nucleus_graph::CsrGraph;
+
+use crate::algo::dft::dft;
+use crate::algo::fnd::fnd;
+use crate::algo::hypo::hypo_sweep;
+use crate::algo::lcps::lcps;
+use crate::algo::naive::naive;
+use crate::error::CoreError;
+use crate::hierarchy::Hierarchy;
+use crate::peel::{peel, Peeling};
+use crate::space::{EdgeSpace, PeelSpace, TriangleSpace, VertexSpace};
+
+/// Which decomposition family to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// (1,2): k-core.
+    Core,
+    /// (2,3): k-truss community.
+    Truss,
+    /// (3,4): four-clique nuclei.
+    Nucleus34,
+}
+
+impl Kind {
+    /// `(r, s)` of the family.
+    pub fn rs(self) -> (u32, u32) {
+        match self {
+            Kind::Core => (1, 2),
+            Kind::Truss => (2, 3),
+            Kind::Nucleus34 => (3, 4),
+        }
+    }
+
+    /// All families, in paper order.
+    pub fn all() -> [Kind; 3] {
+        [Kind::Core, Kind::Truss, Kind::Nucleus34]
+    }
+}
+
+impl std::fmt::Display for Kind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (r, s) = self.rs();
+        write!(f, "({r},{s})")
+    }
+}
+
+/// Which hierarchy algorithm to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Per-level traversal (Alg. 2/3) — the baseline.
+    Naive,
+    /// Disjoint-set-forest traversal (Alg. 5/6).
+    Dft,
+    /// Traversal-free peeling-time construction (Alg. 8/9).
+    Fnd,
+    /// Matula–Beck priority search (k-core only).
+    Lcps,
+}
+
+impl Algorithm {
+    /// All algorithms applicable to `kind`.
+    pub fn for_kind(kind: Kind) -> &'static [Algorithm] {
+        match kind {
+            Kind::Core => &[
+                Algorithm::Naive,
+                Algorithm::Dft,
+                Algorithm::Fnd,
+                Algorithm::Lcps,
+            ],
+            _ => &[Algorithm::Naive, Algorithm::Dft, Algorithm::Fnd],
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Algorithm::Naive => "Naive",
+            Algorithm::Dft => "DFT",
+            Algorithm::Fnd => "FND",
+            Algorithm::Lcps => "LCPS",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Wall-clock phase split, matching Figure 6's peeling/post-processing
+/// decomposition. For FND "peeling" is the extended loop of Alg. 8; for
+/// the others it is space construction + `Set-λ`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Peeling (including K_r enumeration / ω computation).
+    pub peel: Duration,
+    /// Hierarchy construction after (or interleaved with) peeling.
+    pub post: Duration,
+}
+
+impl PhaseTimes {
+    /// Total wall time.
+    pub fn total(&self) -> Duration {
+        self.peel + self.post
+    }
+}
+
+/// Structure counters (Table 3 columns), populated by DFT/FND runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SkeletonStats {
+    /// Sub-nuclei created: |T| for DFT, |T*| for FND, nodes for others.
+    pub subnuclei: usize,
+    /// |c↓(T*)| (FND only; zero otherwise).
+    pub adj_connections: usize,
+}
+
+/// Result of a full decomposition.
+#[derive(Debug)]
+pub struct Decomposition {
+    /// Which family was decomposed.
+    pub kind: Kind,
+    /// Which algorithm produced it.
+    pub algorithm: Algorithm,
+    /// λ per cell + peeling order.
+    pub peeling: Peeling,
+    /// The canonical hierarchy of nuclei.
+    pub hierarchy: Hierarchy,
+    /// Phase timings.
+    pub times: PhaseTimes,
+    /// Structure counters.
+    pub stats: SkeletonStats,
+}
+
+/// Runs the chosen `algorithm` for `kind` on `g`.
+///
+/// # Errors
+/// [`CoreError::UnsupportedAlgorithm`] when `algorithm` is
+/// [`Algorithm::Lcps`] and `kind` is not [`Kind::Core`].
+pub fn decompose(
+    g: &CsrGraph,
+    kind: Kind,
+    algorithm: Algorithm,
+) -> Result<Decomposition, CoreError> {
+    match kind {
+        Kind::Core => {
+            if algorithm == Algorithm::Lcps {
+                let t0 = Instant::now();
+                let space = VertexSpace::new(g);
+                let peeling = peel(&space);
+                let peel_t = t0.elapsed();
+                let t1 = Instant::now();
+                let hierarchy = lcps(g, &peeling);
+                let post_t = t1.elapsed();
+                return Ok(Decomposition {
+                    kind,
+                    algorithm,
+                    stats: SkeletonStats {
+                        subnuclei: hierarchy.nucleus_count(),
+                        adj_connections: 0,
+                    },
+                    peeling,
+                    hierarchy,
+                    times: PhaseTimes {
+                        peel: peel_t,
+                        post: post_t,
+                    },
+                });
+            }
+            run_generic(g, kind, algorithm, VertexSpace::new)
+        }
+        Kind::Truss => run_generic(g, kind, algorithm, EdgeSpace::new),
+        Kind::Nucleus34 => run_generic(g, kind, algorithm, TriangleSpace::new),
+    }
+}
+
+fn run_generic<'g, S, F>(
+    g: &'g CsrGraph,
+    kind: Kind,
+    algorithm: Algorithm,
+    make_space: F,
+) -> Result<Decomposition, CoreError>
+where
+    S: PeelSpace,
+    F: FnOnce(&'g CsrGraph) -> S,
+{
+    match algorithm {
+        Algorithm::Lcps => Err(CoreError::UnsupportedAlgorithm {
+            algorithm: "LCPS",
+            kind: format!("{kind}"),
+        }),
+        Algorithm::Fnd => {
+            let t0 = Instant::now();
+            let space = make_space(g);
+            let build_t = t0.elapsed();
+            let out = fnd(&space);
+            Ok(Decomposition {
+                kind,
+                algorithm,
+                peeling: out.peeling,
+                hierarchy: out.hierarchy,
+                times: PhaseTimes {
+                    peel: build_t + out.peel_time,
+                    post: out.post_time,
+                },
+                stats: SkeletonStats {
+                    subnuclei: out.stats.subnuclei,
+                    adj_connections: out.stats.adj_connections,
+                },
+            })
+        }
+        Algorithm::Naive | Algorithm::Dft => {
+            let t0 = Instant::now();
+            let space = make_space(g);
+            let peeling = peel(&space);
+            let peel_t = t0.elapsed();
+            let t1 = Instant::now();
+            let (hierarchy, subnuclei) = match algorithm {
+                Algorithm::Naive => {
+                    let h = naive(&space, &peeling);
+                    let c = h.nucleus_count();
+                    (h, c)
+                }
+                _ => {
+                    let (h, st) = dft(&space, &peeling);
+                    (h, st.subnuclei)
+                }
+            };
+            let post_t = t1.elapsed();
+            Ok(Decomposition {
+                kind,
+                algorithm,
+                peeling,
+                hierarchy,
+                times: PhaseTimes {
+                    peel: peel_t,
+                    post: post_t,
+                },
+                stats: SkeletonStats {
+                    subnuclei,
+                    adj_connections: 0,
+                },
+            })
+        }
+    }
+}
+
+/// Runs the *Hypo* baseline for `kind`: peeling plus one full sweep.
+/// Returns the phase times and the number of s-connectivity components;
+/// no hierarchy is produced (that is the point of the baseline).
+pub fn hypo_baseline(g: &CsrGraph, kind: Kind) -> (PhaseTimes, usize) {
+    fn run<S: PeelSpace>(space: &S, build_t: Duration) -> (PhaseTimes, usize) {
+        let t0 = Instant::now();
+        let _ = peel(space);
+        let peel_t = build_t + t0.elapsed();
+        let t1 = Instant::now();
+        let comps = hypo_sweep(space);
+        (
+            PhaseTimes {
+                peel: peel_t,
+                post: t1.elapsed(),
+            },
+            comps,
+        )
+    }
+    match kind {
+        Kind::Core => {
+            let t = Instant::now();
+            let s = VertexSpace::new(g);
+            let b = t.elapsed();
+            run(&s, b)
+        }
+        Kind::Truss => {
+            let t = Instant::now();
+            let s = EdgeSpace::new(g);
+            let b = t.elapsed();
+            run(&s, b)
+        }
+        Kind::Nucleus34 => {
+            let t = Instant::now();
+            let s = TriangleSpace::new(g);
+            let b = t.elapsed();
+            run(&s, b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_graphs;
+
+    #[test]
+    fn all_algorithms_agree_on_all_kinds() {
+        let g = test_graphs::nested_cores();
+        for kind in Kind::all() {
+            let mut results = vec![];
+            for &algo in Algorithm::for_kind(kind) {
+                let d = decompose(&g, kind, algo).expect("runs");
+                d.hierarchy.validate().expect("valid");
+                results.push((algo, d.hierarchy));
+            }
+            for pair in results.windows(2) {
+                assert_eq!(
+                    pair[0].1, pair[1].1,
+                    "{kind}: {} vs {} disagree",
+                    pair[0].0, pair[1].0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lcps_rejected_for_truss() {
+        let g = test_graphs::nested_cores();
+        let err = decompose(&g, Kind::Truss, Algorithm::Lcps).unwrap_err();
+        assert!(matches!(err, CoreError::UnsupportedAlgorithm { .. }));
+        assert!(format!("{err}").contains("LCPS"));
+    }
+
+    #[test]
+    fn hypo_baseline_runs_everywhere() {
+        let g = test_graphs::nested_cores();
+        for kind in Kind::all() {
+            let (times, comps) = hypo_baseline(&g, kind);
+            assert!(comps >= 1);
+            assert!(times.total().as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn kind_display_and_rs() {
+        assert_eq!(Kind::Core.rs(), (1, 2));
+        assert_eq!(format!("{}", Kind::Truss), "(2,3)");
+        assert_eq!(format!("{}", Algorithm::Fnd), "FND");
+        assert_eq!(Algorithm::for_kind(Kind::Core).len(), 4);
+        assert_eq!(Algorithm::for_kind(Kind::Nucleus34).len(), 3);
+    }
+}

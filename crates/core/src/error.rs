@@ -1,0 +1,28 @@
+//! Error type for the decomposition API.
+
+use std::fmt;
+
+/// Errors produced by [`crate::decompose::decompose`] and friends.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The requested algorithm cannot run on the requested family
+    /// (e.g. LCPS is defined for k-core only).
+    UnsupportedAlgorithm {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// Family it was requested for.
+        kind: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnsupportedAlgorithm { algorithm, kind } => {
+                write!(f, "{algorithm} does not support the {kind} decomposition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,365 @@
+//! Incremental k-core maintenance under edge insertions and removals —
+//! the *streaming* setting of Sarıyüce et al. (PVLDB'13 / VLDBJ'16),
+//! which the paper's sub-nucleus (T₁,₂ = "subcore") machinery descends
+//! from (§3.1). One edge update changes core numbers by at most one, and
+//! only inside the subcore of the update's lower-λ endpoint; this module
+//! exploits exactly that.
+//!
+//! ```
+//! use nucleus_core::maintenance::DynamicCores;
+//! use nucleus_graph::CsrGraph;
+//!
+//! let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0)]);
+//! let mut dc = DynamicCores::new(&g);
+//! assert_eq!(dc.core_numbers(), &[2, 2, 2, 0]);
+//! dc.insert_edge(3, 0);
+//! dc.insert_edge(3, 1);
+//! dc.insert_edge(3, 2);
+//! assert_eq!(dc.core_numbers(), &[3, 3, 3, 3]); // K4 now
+//! dc.remove_edge(3, 0);
+//! assert_eq!(dc.core_numbers(), &[2, 2, 2, 2]);
+//! ```
+
+use nucleus_graph::CsrGraph;
+
+use crate::peel::peel;
+use crate::space::VertexSpace;
+
+/// A dynamic graph with incrementally maintained core numbers (λ₂).
+#[derive(Clone, Debug)]
+pub struct DynamicCores {
+    /// Sorted adjacency lists.
+    adj: Vec<Vec<u32>>,
+    /// Current core number per vertex.
+    lambda: Vec<u32>,
+    /// Scratch: visited marker with stamp (avoids clearing per update).
+    mark: Vec<u32>,
+    stamp: u32,
+}
+
+impl DynamicCores {
+    /// Initializes from a static graph (core numbers via peeling).
+    pub fn new(g: &CsrGraph) -> Self {
+        let lambda = peel(&VertexSpace::new(g)).lambda;
+        let adj = (0..g.n() as u32).map(|v| g.neighbors(v).to_vec()).collect();
+        DynamicCores {
+            adj,
+            lambda,
+            mark: vec![0; g.n()],
+            stamp: 0,
+        }
+    }
+
+    /// Empty dynamic graph over `n` isolated vertices.
+    pub fn with_vertices(n: usize) -> Self {
+        DynamicCores {
+            adj: vec![Vec::new(); n],
+            lambda: vec![0; n],
+            mark: vec![0; n],
+            stamp: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Current core numbers.
+    pub fn core_numbers(&self) -> &[u32] {
+        &self.lambda
+    }
+
+    /// Neighbors of `v` (sorted).
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Whether `{u, v}` is currently an edge.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Snapshot into an immutable [`CsrGraph`].
+    pub fn to_graph(&self) -> CsrGraph {
+        let mut edges = Vec::with_capacity(self.m());
+        for (u, ns) in self.adj.iter().enumerate() {
+            for &v in ns {
+                if (u as u32) < v {
+                    edges.push((u as u32, v));
+                }
+            }
+        }
+        CsrGraph::from_edges(self.n(), &edges)
+    }
+
+    /// Inserts edge `{u, v}` and repairs core numbers. Returns `false`
+    /// (and changes nothing) if the edge already exists or `u == v`.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn insert_edge(&mut self, u: u32, v: u32) -> bool {
+        assert!((u as usize) < self.n() && (v as usize) < self.n());
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        let pu = self.adj[u as usize].binary_search(&v).unwrap_err();
+        self.adj[u as usize].insert(pu, v);
+        let pv = self.adj[v as usize].binary_search(&u).unwrap_err();
+        self.adj[v as usize].insert(pv, u);
+
+        // Only vertices with λ = k in the root's subcore may rise to k+1.
+        let k = self.lambda[u as usize].min(self.lambda[v as usize]);
+        let root = if self.lambda[u as usize] <= self.lambda[v as usize] {
+            u
+        } else {
+            v
+        };
+        let candidates = self.subcore(root, k);
+        // Effective degree: neighbors with λ > k, plus candidate
+        // neighbors with λ = k (non-candidate λ = k neighbors can never
+        // reach the (k+1)-core, so they do not count).
+        let mut in_set = std::collections::HashMap::new();
+        for (i, &w) in candidates.iter().enumerate() {
+            in_set.insert(w, i);
+        }
+        let mut alive: Vec<bool> = vec![true; candidates.len()];
+        let mut cd: Vec<u32> = candidates
+            .iter()
+            .map(|&w| {
+                self.adj[w as usize]
+                    .iter()
+                    .filter(|&&x| self.lambda[x as usize] > k || in_set.contains_key(&x))
+                    .count() as u32
+            })
+            .collect();
+        // Peel candidates with cd ≤ k.
+        let mut queue: Vec<usize> = (0..candidates.len()).filter(|&i| cd[i] <= k).collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let i = queue[head];
+            head += 1;
+            if !alive[i] {
+                continue;
+            }
+            alive[i] = false;
+            for &x in &self.adj[candidates[i] as usize] {
+                if let Some(&j) = in_set.get(&x) {
+                    if alive[j] {
+                        cd[j] -= 1;
+                        if cd[j] <= k {
+                            queue.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        for (i, &w) in candidates.iter().enumerate() {
+            if alive[i] {
+                self.lambda[w as usize] = k + 1;
+            }
+        }
+        true
+    }
+
+    /// Removes edge `{u, v}` and repairs core numbers. Returns `false`
+    /// (and changes nothing) if the edge does not exist.
+    pub fn remove_edge(&mut self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        let Ok(pu) = self.adj[u as usize].binary_search(&v) else {
+            return false;
+        };
+        self.adj[u as usize].remove(pu);
+        let pv = self.adj[v as usize]
+            .binary_search(&u)
+            .expect("symmetric edge");
+        self.adj[v as usize].remove(pv);
+
+        let k = self.lambda[u as usize].min(self.lambda[v as usize]);
+        if k == 0 {
+            return true; // an isolated-ish endpoint: no core can drop
+        }
+        // Only λ = k vertices in the subcores of the λ = k endpoints may
+        // drop to k-1. (If both endpoints have λ = k, the two subcores
+        // may have just split — process both.)
+        let mut candidates = Vec::new();
+        if self.lambda[u as usize] == k {
+            candidates.extend(self.subcore(u, k));
+        }
+        if self.lambda[v as usize] == k && !candidates.contains(&v) {
+            candidates.extend(self.subcore(v, k));
+        }
+        let mut in_set = std::collections::HashMap::new();
+        for (i, &w) in candidates.iter().enumerate() {
+            in_set.insert(w, i);
+        }
+        // cd = neighbors with λ ≥ k; vertices failing cd ≥ k drop out
+        // and cascade through λ = k neighbors.
+        let mut alive: Vec<bool> = vec![true; candidates.len()];
+        let mut cd: Vec<u32> = candidates
+            .iter()
+            .map(|&w| {
+                self.adj[w as usize]
+                    .iter()
+                    .filter(|&&x| self.lambda[x as usize] >= k)
+                    .count() as u32
+            })
+            .collect();
+        let mut queue: Vec<usize> = (0..candidates.len()).filter(|&i| cd[i] < k).collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let i = queue[head];
+            head += 1;
+            if !alive[i] {
+                continue;
+            }
+            alive[i] = false;
+            self.lambda[candidates[i] as usize] = k - 1;
+            for &x in &self.adj[candidates[i] as usize] {
+                if let Some(&j) = in_set.get(&x) {
+                    if alive[j] {
+                        cd[j] -= 1;
+                        if cd[j] < k {
+                            queue.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The subcore of `root`: vertices with λ = k reachable from `root`
+    /// through λ = k vertices (the T₁,₂ of the paper, Definition 5).
+    fn subcore(&mut self, root: u32, k: u32) -> Vec<u32> {
+        debug_assert_eq!(self.lambda[root as usize], k);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut out = vec![root];
+        self.mark[root as usize] = stamp;
+        let mut head = 0;
+        while head < out.len() {
+            let w = out[head];
+            head += 1;
+            for &x in &self.adj[w as usize] {
+                if self.lambda[x as usize] == k && self.mark[x as usize] != stamp {
+                    self.mark[x as usize] = stamp;
+                    out.push(x);
+                }
+            }
+        }
+        out
+    }
+
+    /// Full recompute of every core number (reference / repair).
+    pub fn recompute(&mut self) {
+        let g = self.to_graph();
+        self.lambda = peel(&VertexSpace::new(&g)).lambda;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_consistent(dc: &DynamicCores) {
+        let g = dc.to_graph();
+        let expect = peel(&VertexSpace::new(&g)).lambda;
+        assert_eq!(
+            dc.core_numbers(),
+            expect.as_slice(),
+            "drifted from recompute"
+        );
+    }
+
+    #[test]
+    fn build_k4_edge_by_edge() {
+        let mut dc = DynamicCores::with_vertices(4);
+        let edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        for (u, v) in edges {
+            assert!(dc.insert_edge(u, v));
+            assert_consistent(&dc);
+        }
+        assert_eq!(dc.core_numbers(), &[3, 3, 3, 3]);
+        assert_eq!(dc.m(), 6);
+    }
+
+    #[test]
+    fn tear_down_k4_edge_by_edge() {
+        let g = nucleus_gen::classic::complete(4);
+        let mut dc = DynamicCores::new(&g);
+        for (_, u, v) in g.edges() {
+            assert!(dc.remove_edge(u, v));
+            assert_consistent(&dc);
+        }
+        assert_eq!(dc.core_numbers(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn duplicate_and_missing_edges_are_noops() {
+        let g = nucleus_gen::classic::complete(3);
+        let mut dc = DynamicCores::new(&g);
+        assert!(!dc.insert_edge(0, 1));
+        assert!(!dc.insert_edge(1, 1));
+        assert!(!dc.remove_edge(0, 0));
+        let snapshot = dc.core_numbers().to_vec();
+        assert!(!dc.remove_edge(2, 2));
+        assert_eq!(dc.core_numbers(), snapshot.as_slice());
+    }
+
+    #[test]
+    fn insertion_bridging_two_subcores() {
+        // two triangles; adding a bridge edge must NOT raise anything
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let mut dc = DynamicCores::new(&g);
+        dc.insert_edge(2, 3);
+        assert_consistent(&dc);
+        assert_eq!(dc.core_numbers(), &[2, 2, 2, 2, 2, 2]);
+        // completing more cross edges eventually raises the cores
+        dc.insert_edge(2, 4);
+        assert_consistent(&dc);
+        dc.insert_edge(1, 3);
+        assert_consistent(&dc);
+        dc.insert_edge(1, 4);
+        assert_consistent(&dc);
+    }
+
+    #[test]
+    fn deletion_splitting_a_core() {
+        // ring of 6 (all λ=2): deleting one edge drops everyone to 1
+        let g = nucleus_gen::classic::cycle(6);
+        let mut dc = DynamicCores::new(&g);
+        dc.remove_edge(0, 1);
+        assert_consistent(&dc);
+        assert!(dc.core_numbers().iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn karate_random_churn_stays_consistent() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let g = nucleus_gen::karate::karate_club();
+        let mut dc = DynamicCores::new(&g);
+        let mut rng = StdRng::seed_from_u64(99);
+        for step in 0..300 {
+            let u = rng.gen_range(0..34u32);
+            let v = rng.gen_range(0..34u32);
+            if rng.gen_bool(0.5) {
+                dc.insert_edge(u, v);
+            } else {
+                dc.remove_edge(u, v);
+            }
+            if step % 10 == 0 {
+                assert_consistent(&dc);
+            }
+        }
+        assert_consistent(&dc);
+    }
+}

@@ -1,0 +1,50 @@
+//! The peeling-space abstraction: one interface for every (r, s) pair.
+//!
+//! A *(r, s) nucleus decomposition* peels **cells** (the K_r's: vertices,
+//! edges or triangles) by their **container** count (the K_s's they lie
+//! in: edges, triangles or four-cliques). All hierarchy algorithms in
+//! this crate — Naive, DFT, FND, Hypo — are written once against
+//! [`PeelSpace`] and monomorphized per space, which is the paper's
+//! genericity claim made concrete.
+
+/// A cell universe for peeling. Cells are dense `u32` ids.
+pub trait PeelSpace {
+    /// `r` of the (r, s) pair (cells are K_r's).
+    fn r(&self) -> u32;
+
+    /// `s` of the (r, s) pair (containers are K_s's).
+    fn s(&self) -> u32;
+
+    /// Number of cells.
+    fn cell_count(&self) -> usize;
+
+    /// Initial ω_s of every cell (number of containers it lies in).
+    fn degrees(&self) -> Vec<u32>;
+
+    /// Enumerates the containers (K_s's) of `cell`, invoking `f` once per
+    /// container with the *other* cells of that container (`s choose r`
+    /// minus one ids: 1 for (1,2), 2 for (2,3), 3 for (3,4)).
+    ///
+    /// The slice is only valid for the duration of the call.
+    fn for_each_container<F: FnMut(&[u32])>(&self, cell: u32, f: F);
+
+    /// Appends the vertices spanned by `cell` to `out` (1, 2 or 3 ids).
+    fn cell_vertices(&self, cell: u32, out: &mut Vec<u32>);
+
+    /// Human-readable space name, e.g. `"(2,3)"`.
+    fn name(&self) -> String {
+        format!("({},{})", self.r(), self.s())
+    }
+}
+
+pub mod edge;
+pub mod edge_k4;
+pub mod triangle;
+pub mod vertex;
+pub mod vertex_triangle;
+
+pub use edge::EdgeSpace;
+pub use edge_k4::EdgeK4Space;
+pub use triangle::TriangleSpace;
+pub use vertex::VertexSpace;
+pub use vertex_triangle::VertexTriangleSpace;

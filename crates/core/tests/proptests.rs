@@ -1,0 +1,162 @@
+//! Property tests: all hierarchy algorithms agree with each other, with
+//! the brute-force definitions, and with the paper's invariants — on
+//! arbitrary random graphs.
+
+use proptest::prelude::*;
+
+use nucleus_core::algo::dft::dft;
+use nucleus_core::algo::fnd::fnd;
+use nucleus_core::algo::lcps::lcps;
+use nucleus_core::algo::naive::naive;
+use nucleus_core::algo::tcp::{tcp_query, TcpIndex};
+use nucleus_core::peel::{peel, peel_reference};
+use nucleus_core::space::{EdgeSpace, PeelSpace, TriangleSpace, VertexSpace};
+use nucleus_core::validate::check_semantics;
+use nucleus_graph::CsrGraph;
+
+/// Random graph strategy: up to `n_max` vertices, arbitrary edge subset.
+fn graph_strategy(n_max: u32, m_max: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..=n_max).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..=m_max)
+            .prop_map(move |edges| CsrGraph::from_edges(n as usize, &edges))
+    })
+}
+
+fn check_space_agreement<S: PeelSpace>(space: &S) {
+    let p = peel(space);
+    // 1. peeling matches the literal definition
+    assert_eq!(p.lambda, peel_reference(space), "λ vs brute force");
+    // 2. all algorithms produce the identical canonical hierarchy
+    let h_naive = naive(space, &p);
+    let (h_dft, _) = dft(space, &p);
+    let out = fnd(space);
+    assert_eq!(out.peeling.lambda, p.lambda, "FND λ");
+    assert_eq!(h_naive, h_dft, "naive vs dft");
+    assert_eq!(h_dft, out.hierarchy, "dft vs fnd");
+    // 3. structural + semantic invariants
+    h_dft.validate().expect("structural");
+    check_semantics(space, &h_dft).expect("semantic");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn algorithms_agree_on_core(g in graph_strategy(24, 80)) {
+        let vs = VertexSpace::new(&g);
+        check_space_agreement(&vs);
+        // LCPS too (k-core only)
+        let p = peel(&vs);
+        let h_lcps = lcps(&g, &p);
+        let (h_dft, _) = dft(&vs, &p);
+        prop_assert_eq!(h_lcps, h_dft);
+    }
+
+    #[test]
+    fn algorithms_agree_on_truss(g in graph_strategy(16, 60)) {
+        check_space_agreement(&EdgeSpace::new(&g));
+    }
+
+    #[test]
+    fn algorithms_agree_on_nucleus34(g in graph_strategy(12, 50)) {
+        check_space_agreement(&TriangleSpace::new(&g));
+    }
+
+    #[test]
+    fn tcp_queries_match_hierarchy(g in graph_strategy(12, 40)) {
+        let es = EdgeSpace::new(&g);
+        let truss = peel(&es);
+        let idx = TcpIndex::build(&g, &truss);
+        let (h, _) = dft(&es, &truss);
+        for k in 1..=h.max_lambda() {
+            for node in h.nuclei_at(k) {
+                let mut cells = h.nucleus_cells(node);
+                cells.sort_unstable();
+                let (u, v) = g.endpoints(cells[0]);
+                let got = tcp_query(&g, &truss, &idx, u, v, k).expect("community exists");
+                prop_assert_eq!(&got, &cells, "k={} node={}", k, node);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_partitions_cells(g in graph_strategy(20, 70)) {
+        let vs = VertexSpace::new(&g);
+        let p = peel(&vs);
+        let (h, _) = dft(&vs, &p);
+        // every cell appears in exactly one delta, at its own λ
+        let mut seen = vec![0u32; g.n()];
+        for node in h.nodes() {
+            for &c in &node.cells {
+                seen[c as usize] += 1;
+                prop_assert_eq!(p.lambda_of(c), node.lambda);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn dynamic_cores_track_recompute(
+        n in 4u32..20,
+        ops in proptest::collection::vec((0u32..20, 0u32..20, prop::bool::ANY), 1..60),
+    ) {
+        let mut dc = nucleus_core::maintenance::DynamicCores::with_vertices(n as usize);
+        for (a, b, insert) in ops {
+            let (a, b) = (a % n, b % n);
+            if insert {
+                dc.insert_edge(a, b);
+            } else {
+                dc.remove_edge(a, b);
+            }
+            let g = dc.to_graph();
+            let expect = peel(&VertexSpace::new(&g)).lambda;
+            prop_assert_eq!(dc.core_numbers(), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn weighted_cores_with_unit_weights_match_plain(g in graph_strategy(20, 60)) {
+        let weights = vec![1u64; g.m()];
+        let wl = nucleus_core::weighted::weighted_core_numbers(&g, &weights);
+        let plain = peel(&VertexSpace::new(&g)).lambda;
+        let expect: Vec<u64> = plain.iter().map(|&l| l as u64).collect();
+        prop_assert_eq!(wl, expect);
+    }
+
+    #[test]
+    fn weighted_hierarchy_is_valid_for_random_weights(
+        g in graph_strategy(14, 40),
+        seed in 0u64..500,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weights: Vec<u64> = (0..g.m()).map(|_| rng.gen_range(0..5u64)).collect();
+        let wd = nucleus_core::weighted::weighted_core_decomposition(&g, &weights);
+        prop_assert!(wd.hierarchy.validate().is_ok());
+        // deepest nuclei have the largest threshold
+        if let Some(&last) = wd.levels.last() {
+            let top = wd.hierarchy.nuclei_at(wd.hierarchy.max_lambda());
+            for id in top {
+                prop_assert_eq!(wd.threshold(id), last);
+            }
+        }
+    }
+
+    #[test]
+    fn nuclei_are_nested(g in graph_strategy(20, 70)) {
+        let vs = VertexSpace::new(&g);
+        let p = peel(&vs);
+        let (h, _) = dft(&vs, &p);
+        // For every k, the union of k-nuclei is exactly {cells: λ ≥ k},
+        // and each (k+1)-nucleus is contained in exactly one k-nucleus.
+        for k in 1..=h.max_lambda() {
+            let mut union: Vec<u32> = vec![];
+            for id in h.nuclei_at(k) {
+                union.extend(h.nucleus_cells(id));
+            }
+            union.sort_unstable();
+            let expect: Vec<u32> = (0..g.n() as u32).filter(|&c| p.lambda_of(c) >= k).collect();
+            prop_assert_eq!(union, expect, "level {}", k);
+        }
+    }
+}

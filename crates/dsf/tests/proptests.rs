@@ -1,0 +1,152 @@
+//! Property tests: both forests against a naive set-partition model.
+
+use proptest::prelude::*;
+
+use nucleus_dsf::{DisjointSets, RootedForest};
+
+/// Naive model: explicit set ids per element.
+#[derive(Clone)]
+struct Model {
+    set_of: Vec<usize>,
+}
+
+impl Model {
+    fn new(n: usize) -> Self {
+        Model {
+            set_of: (0..n).collect(),
+        }
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (sa, sb) = (self.set_of[a], self.set_of[b]);
+        if sa != sb {
+            for s in &mut self.set_of {
+                if *s == sb {
+                    *s = sa;
+                }
+            }
+        }
+    }
+
+    fn same(&self, a: usize, b: usize) -> bool {
+        self.set_of[a] == self.set_of[b]
+    }
+
+    fn count(&self) -> usize {
+        let mut ids: Vec<usize> = self.set_of.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn classic_matches_model(
+        n in 2usize..40,
+        ops in proptest::collection::vec((0usize..40, 0usize..40), 0..120),
+    ) {
+        let mut dsu = DisjointSets::new(n);
+        let mut model = Model::new(n);
+        for (a, b) in ops {
+            let (a, b) = (a % n, b % n);
+            dsu.union(a as u32, b as u32);
+            model.union(a, b);
+            prop_assert_eq!(dsu.set_count(), model.count());
+        }
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    dsu.same_set(a as u32, b as u32),
+                    model.same(a, b),
+                    "pair ({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rooted_union_matches_model(
+        n in 2usize..40,
+        ops in proptest::collection::vec((0usize..40, 0usize..40), 0..120),
+    ) {
+        let mut f = RootedForest::new();
+        for _ in 0..n {
+            f.push();
+        }
+        let mut model = Model::new(n);
+        for (a, b) in ops {
+            let (a, b) = (a % n, b % n);
+            f.union_r(a as u32, b as u32);
+            model.union(a, b);
+        }
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    f.find_r(a as u32) == f.find_r(b as u32),
+                    model.same(a, b),
+                    "pair ({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rooted_parent_links_form_a_forest(
+        n in 2usize..30,
+        ops in proptest::collection::vec((0usize..30, 0usize..30), 0..80),
+    ) {
+        let mut f = RootedForest::new();
+        for _ in 0..n {
+            f.push();
+        }
+        for (a, b) in ops {
+            f.union_r((a % n) as u32, (b % n) as u32);
+        }
+        // every node reaches a parentless top in ≤ n parent steps, and
+        // that top is its find_r representative
+        for x in 0..n as u32 {
+            let mut cur = x;
+            let mut steps = 0;
+            while let Some(p) = f.parent(cur) {
+                cur = p;
+                steps += 1;
+                prop_assert!(steps <= n, "parent cycle at {}", x);
+            }
+            prop_assert_eq!(cur, f.find_r(x), "top mismatch for {}", x);
+        }
+    }
+
+    #[test]
+    fn attach_preserves_partitions_and_adds_edges(
+        chains in proptest::collection::vec(1usize..6, 1..8),
+    ) {
+        // build one structure per chain, then attach them in sequence:
+        // every earlier structure must find the last attached base
+        let mut f = RootedForest::new();
+        let mut tops = vec![];
+        for &len in &chains {
+            let base = f.push();
+            let mut top = base;
+            for _ in 1..len {
+                let x = f.push();
+                top = f.union_r(top, x);
+            }
+            tops.push(top);
+        }
+        for w in (0..tops.len()).rev().collect::<Vec<_>>().windows(2) {
+            let (upper, lower) = (w[0], w[1]);
+            let t = f.find_r(tops[upper]);
+            let anchor = f.find_r(tops[lower]);
+            if t != anchor {
+                f.attach(t, anchor);
+            }
+        }
+        let expected = f.find_r(tops[0]);
+        for &t in &tops {
+            prop_assert_eq!(f.find_r(t), expected);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Barabási–Albert preferential attachment.
+
+use nucleus_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// BA model: starts from a clique on `m_attach + 1` vertices; each new
+/// vertex attaches to `m_attach` distinct existing vertices chosen with
+/// probability proportional to degree (via the repeated-endpoints trick).
+///
+/// # Panics
+/// Panics if `n <= m_attach`.
+pub fn barabasi_albert(n: u32, m_attach: u32, seed: u64) -> CsrGraph {
+    assert!(n > m_attach, "need n > m_attach");
+    assert!(m_attach >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n as usize * m_attach as usize);
+    // Every edge endpoint appended here; sampling an index uniformly is a
+    // degree-proportional vertex draw.
+    let mut endpoints: Vec<u32> = Vec::new();
+    let seed_vertices = m_attach + 1;
+    for u in 0..seed_vertices {
+        for v in u + 1..seed_vertices {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut targets: Vec<u32> = Vec::with_capacity(m_attach as usize);
+    for v in seed_vertices..n {
+        targets.clear();
+        while targets.len() < m_attach as usize {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((t, v));
+            endpoints.push(t);
+            endpoints.push(v);
+        }
+    }
+    CsrGraph::from_edges(n as usize, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_formula() {
+        let (n, m) = (500u32, 4u32);
+        let g = barabasi_albert(n, m, 3);
+        let seed_edges = (m as usize + 1) * m as usize / 2;
+        assert_eq!(g.m(), seed_edges + (n - m - 1) as usize * m as usize);
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let g = barabasi_albert(300, 3, 9);
+        assert!(g.vertices().all(|v| g.degree(v) >= 3));
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let g = barabasi_albert(2000, 2, 5);
+        assert!(
+            g.max_degree() > 20,
+            "max degree {} too small for BA",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = barabasi_albert(100, 2, 77);
+        let b = barabasi_albert(100, 2, 77);
+        assert_eq!(a.edge_endpoints(), b.edge_endpoints());
+    }
+}

@@ -1,0 +1,127 @@
+//! Erdős–Rényi random graphs.
+
+use nucleus_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// G(n, p): every pair independently with probability `p`, sampled with
+/// the Batagelj–Brandes geometric-skip method in expected `O(n + m)`.
+pub fn gnp(n: u32, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    if n >= 2 && p > 0.0 {
+        if (p - 1.0).abs() < f64::EPSILON {
+            for u in 0..n {
+                for v in u + 1..n {
+                    edges.push((u, v));
+                }
+            }
+        } else {
+            let lp = (1.0 - p).ln();
+            let mut v: i64 = 1;
+            let mut w: i64 = -1;
+            while (v as u32) < n {
+                let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+                w += 1 + (r.ln() / lp).floor() as i64;
+                while w >= v && (v as u32) < n {
+                    w -= v;
+                    v += 1;
+                }
+                if (v as u32) < n {
+                    edges.push((w as u32, v as u32));
+                }
+            }
+        }
+    }
+    CsrGraph::from_edges(n as usize, &edges)
+}
+
+/// G(n, m): exactly `m` distinct edges chosen uniformly at random.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges.
+pub fn gnm(n: u32, m: usize, seed: u64) -> CsrGraph {
+    let max = (n as u64 * (n as u64 - 1)) / 2;
+    assert!(m as u64 <= max, "m={m} exceeds max edges {max}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Rejection sampling on packed pair keys; fine while m is not a huge
+    // fraction of max (our use). Falls back to dense enumeration if it is.
+    if (m as u64) * 3 > max * 2 {
+        // dense regime: shuffle all pairs
+        let mut all: Vec<(u32, u32)> = Vec::with_capacity(max as usize);
+        for u in 0..n {
+            for v in u + 1..n {
+                all.push((u, v));
+            }
+        }
+        // Partial Fisher–Yates for the first m picks.
+        for i in 0..m {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+        }
+        all.truncate(m);
+        return CsrGraph::from_edges(n as usize, &all);
+    }
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let (a, b) = (u.min(v), u.max(v));
+        let key = (a as u64) << 32 | b as u64;
+        if seen.insert(key) {
+            edges.push((a, b));
+        }
+    }
+    CsrGraph::from_edges(n as usize, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(100, 500, 7);
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.m(), 500);
+    }
+
+    #[test]
+    fn gnm_dense_regime() {
+        let g = gnm(10, 44, 7); // out of 45 possible
+        assert_eq!(g.m(), 44);
+    }
+
+    #[test]
+    fn gnp_expected_density() {
+        let g = gnp(400, 0.05, 11);
+        let expected = 0.05 * (400.0 * 399.0 / 2.0);
+        let m = g.m() as f64;
+        assert!(
+            (m - expected).abs() < expected * 0.2,
+            "m={m} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(50, 0.0, 1).m(), 0);
+        assert_eq!(gnp(10, 1.0, 1).m(), 45);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = gnp(200, 0.03, 42);
+        let b = gnp(200, 0.03, 42);
+        assert_eq!(a.m(), b.m());
+        let c = gnp(200, 0.03, 43);
+        // overwhelmingly likely to differ
+        assert!(a.m() != c.m() || a.edge_endpoints() != c.edge_endpoints());
+        assert_eq!(a.edge_endpoints(), b.edge_endpoints());
+    }
+}

@@ -1,0 +1,122 @@
+//! Holme–Kim "powerlaw cluster" model: Barabási–Albert growth with an
+//! extra triad-formation step, producing power-law degree distributions
+//! *and* high clustering — our surrogate for social-feed graphs like the
+//! paper's `twitter-hb` (which has |△|/|E| ≈ 6.6).
+
+use nucleus_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Holme–Kim model. Like BA with `m_attach` links per new vertex, but
+/// after each preferential link, with probability `triad_p` the *next*
+/// link closes a triangle (random neighbor of the previous target).
+pub fn holme_kim(n: u32, m_attach: u32, triad_p: f64, seed: u64) -> CsrGraph {
+    assert!(n > m_attach, "need n > m_attach");
+    assert!(m_attach >= 1);
+    assert!((0.0..=1.0).contains(&triad_p));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+    let mut endpoints: Vec<u32> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let connect = |a: u32,
+                   b: u32,
+                   adj: &mut Vec<Vec<u32>>,
+                   endpoints: &mut Vec<u32>,
+                   edges: &mut Vec<(u32, u32)>| {
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+        endpoints.push(a);
+        endpoints.push(b);
+        edges.push((a, b));
+    };
+    let seed_vertices = m_attach + 1;
+    for u in 0..seed_vertices {
+        for v in u + 1..seed_vertices {
+            connect(u, v, &mut adj, &mut endpoints, &mut edges);
+        }
+    }
+    for v in seed_vertices..n {
+        let mut last_target: Option<u32> = None;
+        let mut linked: Vec<u32> = Vec::with_capacity(m_attach as usize);
+        let mut links_made = 0;
+        while links_made < m_attach {
+            let mut target = None;
+            if let Some(prev) = last_target {
+                if rng.gen_bool(triad_p) {
+                    // Triad step: a random neighbor of the previous target.
+                    let nbrs = &adj[prev as usize];
+                    if !nbrs.is_empty() {
+                        let cand = nbrs[rng.gen_range(0..nbrs.len())];
+                        if cand != v && !linked.contains(&cand) {
+                            target = Some(cand);
+                        }
+                    }
+                }
+            }
+            let t = target.unwrap_or_else(|| {
+                // Preferential attachment step (rejecting duplicates).
+                loop {
+                    let cand = endpoints[rng.gen_range(0..endpoints.len())];
+                    if cand != v && !linked.contains(&cand) {
+                        return cand;
+                    }
+                }
+            });
+            connect(t, v, &mut adj, &mut endpoints, &mut edges);
+            linked.push(t);
+            last_target = Some(t);
+            links_made += 1;
+        }
+    }
+    CsrGraph::from_edges(n as usize, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_count_brute(g: &CsrGraph) -> u64 {
+        let mut c = 0;
+        for (_, u, v) in g.edges() {
+            let (a, b) = (g.neighbors(u), g.neighbors(v));
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        c += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        c / 3
+    }
+
+    #[test]
+    fn clusters_more_than_plain_ba() {
+        let hk = holme_kim(1500, 3, 0.9, 4);
+        let ba = crate::ba::barabasi_albert(1500, 3, 4);
+        assert!(
+            triangle_count_brute(&hk) > 2 * triangle_count_brute(&ba),
+            "triad formation should create many more triangles"
+        );
+    }
+
+    #[test]
+    fn edge_count_formula() {
+        let (n, m) = (400u32, 3u32);
+        let g = holme_kim(n, m, 0.5, 8);
+        let seed_edges = (m as usize + 1) * m as usize / 2;
+        assert_eq!(g.m(), seed_edges + (n - m - 1) as usize * m as usize);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = holme_kim(200, 2, 0.7, 13);
+        let b = holme_kim(200, 2, 0.7, 13);
+        assert_eq!(a.edge_endpoints(), b.edge_endpoints());
+    }
+}

@@ -1,0 +1,122 @@
+//! Zachary's karate club (1977) — the classic 34-vertex, 78-edge social
+//! network, embedded for examples and sanity tests. Vertices are
+//! 0-indexed (the literature's vertex 1 is our 0).
+
+use nucleus_graph::CsrGraph;
+
+/// The 78 undirected edges, 1-indexed as in the original paper.
+const EDGES_1INDEXED: [(u32, u32); 78] = [
+    (1, 2),
+    (1, 3),
+    (1, 4),
+    (1, 5),
+    (1, 6),
+    (1, 7),
+    (1, 8),
+    (1, 9),
+    (1, 11),
+    (1, 12),
+    (1, 13),
+    (1, 14),
+    (1, 18),
+    (1, 20),
+    (1, 22),
+    (1, 32),
+    (2, 3),
+    (2, 4),
+    (2, 8),
+    (2, 14),
+    (2, 18),
+    (2, 20),
+    (2, 22),
+    (2, 31),
+    (3, 4),
+    (3, 8),
+    (3, 9),
+    (3, 10),
+    (3, 14),
+    (3, 28),
+    (3, 29),
+    (3, 33),
+    (4, 8),
+    (4, 13),
+    (4, 14),
+    (5, 7),
+    (5, 11),
+    (6, 7),
+    (6, 11),
+    (6, 17),
+    (7, 17),
+    (9, 31),
+    (9, 33),
+    (9, 34),
+    (10, 34),
+    (14, 34),
+    (15, 33),
+    (15, 34),
+    (16, 33),
+    (16, 34),
+    (19, 33),
+    (19, 34),
+    (20, 34),
+    (21, 33),
+    (21, 34),
+    (23, 33),
+    (23, 34),
+    (24, 26),
+    (24, 28),
+    (24, 30),
+    (24, 33),
+    (24, 34),
+    (25, 26),
+    (25, 28),
+    (25, 32),
+    (26, 32),
+    (27, 30),
+    (27, 34),
+    (28, 34),
+    (29, 32),
+    (29, 34),
+    (30, 33),
+    (30, 34),
+    (31, 33),
+    (31, 34),
+    (32, 33),
+    (32, 34),
+    (33, 34),
+];
+
+/// Builds the karate club graph (n = 34, m = 78, 0-indexed).
+pub fn karate_club() -> CsrGraph {
+    let edges: Vec<(u32, u32)> = EDGES_1INDEXED
+        .iter()
+        .map(|&(u, v)| (u - 1, v - 1))
+        .collect();
+    CsrGraph::from_edges(34, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nucleus_graph::order::degeneracy_order;
+    use nucleus_graph::traversal::connected_components;
+
+    #[test]
+    fn canonical_shape() {
+        let g = karate_club();
+        assert_eq!(g.n(), 34);
+        assert_eq!(g.m(), 78);
+        assert_eq!(g.degree(0), 16); // Mr. Hi
+        assert_eq!(g.degree(33), 17); // the president
+        assert_eq!(g.degree(32), 12);
+    }
+
+    #[test]
+    fn connected_and_degeneracy_four() {
+        let g = karate_club();
+        let (_, c) = connected_components(&g);
+        assert_eq!(c, 1);
+        let (_, d) = degeneracy_order(&g);
+        assert_eq!(d, 4, "karate club degeneracy is famously 4");
+    }
+}

@@ -1,0 +1,72 @@
+//! Watts–Strogatz small-world graphs.
+
+use nucleus_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz: ring lattice where each vertex connects to its `k`
+/// nearest neighbors (`k/2` per side), each edge rewired with probability
+/// `beta` to a uniform random non-duplicate target.
+///
+/// # Panics
+/// Panics unless `k` is even, `k >= 2` and `n > k`.
+pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> CsrGraph {
+    assert!(
+        k.is_multiple_of(2) && k >= 2 && n > k,
+        "need even k >= 2 and n > k"
+    );
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::<u64>::new();
+    let key = |a: u32, b: u32| ((a.min(b) as u64) << 32) | a.max(b) as u64;
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n as usize * (k / 2) as usize);
+    for u in 0..n {
+        for off in 1..=k / 2 {
+            let v = (u + off) % n;
+            edges.push((u, v));
+            seen.insert(key(u, v));
+        }
+    }
+    for e in edges.iter_mut() {
+        if rng.gen_bool(beta) {
+            let (u, old_v) = *e;
+            // try a few times to find a fresh target; keep original on failure
+            for _ in 0..16 {
+                let w = rng.gen_range(0..n);
+                if w != u && !seen.contains(&key(u, w)) {
+                    seen.remove(&key(u, old_v));
+                    seen.insert(key(u, w));
+                    *e = (u, w);
+                    break;
+                }
+            }
+        }
+    }
+    CsrGraph::from_edges(n as usize, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_when_beta_zero() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        assert_eq!(g.m(), 40);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert!(g.has_edge(0, 1) && (g.has_edge(0, 2) || g.has_edge(2, 0)));
+    }
+
+    #[test]
+    fn rewiring_preserves_edge_count() {
+        let g = watts_strogatz(100, 6, 0.3, 2);
+        assert_eq!(g.m(), 300);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = watts_strogatz(64, 4, 0.2, 9);
+        let b = watts_strogatz(64, 4, 0.2, 9);
+        assert_eq!(a.edge_endpoints(), b.edge_endpoints());
+    }
+}

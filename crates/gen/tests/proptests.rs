@@ -1,0 +1,84 @@
+//! Generator contracts: every generator emits a simple graph (no self
+//! loops, no duplicates — guaranteed by CsrGraph, checked here by edge
+//! accounting), with the model's documented shape, deterministically.
+
+use proptest::prelude::*;
+
+use nucleus_gen::ba::barabasi_albert;
+use nucleus_gen::er::{gnm, gnp};
+use nucleus_gen::holme_kim::holme_kim;
+use nucleus_gen::planted::{planted_cliques, planted_partition};
+use nucleus_gen::rmat::{rmat, RmatParams};
+use nucleus_gen::ws::watts_strogatz;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gnm_is_exact_and_deterministic(n in 4u32..60, seed in 0u64..1000) {
+        let max = (n as usize * (n as usize - 1)) / 2;
+        let m = max / 2;
+        let a = gnm(n, m, seed);
+        let b = gnm(n, m, seed);
+        prop_assert_eq!(a.m(), m);
+        prop_assert_eq!(a.edge_endpoints(), b.edge_endpoints());
+    }
+
+    #[test]
+    fn gnp_stays_simple(n in 4u32..80, p in 0.0f64..0.3, seed in 0u64..1000) {
+        let g = gnp(n, p, seed);
+        prop_assert_eq!(g.n(), n as usize);
+        for (_, u, v) in g.edges() {
+            prop_assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn ba_degrees_and_determinism(n in 6u32..80, m in 1u32..5, seed in 0u64..1000) {
+        prop_assume!(n > m);
+        let g = barabasi_albert(n, m, seed);
+        prop_assert!(g.vertices().all(|v| g.degree(v) >= m as usize));
+        let g2 = barabasi_albert(n, m, seed);
+        prop_assert_eq!(g.edge_endpoints(), g2.edge_endpoints());
+    }
+
+    #[test]
+    fn holme_kim_edge_budget(n in 6u32..60, m in 1u32..4, p in 0.0f64..1.0, seed in 0u64..500) {
+        prop_assume!(n > m);
+        let g = holme_kim(n, m, p, seed);
+        let seed_edges = (m as usize + 1) * m as usize / 2;
+        prop_assert_eq!(g.m(), seed_edges + (n - m - 1) as usize * m as usize);
+    }
+
+    #[test]
+    fn rmat_bounds(scale in 3u32..9, ef in 1u32..6, seed in 0u64..500) {
+        let g = rmat(scale, ef, RmatParams::skewed(), seed);
+        prop_assert_eq!(g.n(), 1usize << scale);
+        prop_assert!(g.m() <= (ef as usize) << scale);
+    }
+
+    #[test]
+    fn ws_preserves_edge_count(n in 10u32..80, seed in 0u64..500) {
+        let g = watts_strogatz(n, 4, 0.2, seed);
+        prop_assert_eq!(g.m(), n as usize * 2);
+    }
+
+    #[test]
+    fn planted_partition_shape(blocks in 2u32..6, size in 4u32..20, seed in 0u64..200) {
+        let g = planted_partition(blocks, size, 0.5, 0.02, seed);
+        prop_assert_eq!(g.n(), (blocks * size) as usize);
+    }
+
+    #[test]
+    fn planted_cliques_connected_and_clique_complete(count in 1u32..6, seed in 0u64..200) {
+        let g = planted_cliques(count, &[4, 5], seed);
+        let (_, comps) = nucleus_graph::traversal::connected_components(&g);
+        prop_assert_eq!(comps, 1);
+        // first clique (size 4) is complete
+        for u in 0..4u32 {
+            for v in u + 1..4 {
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Bucket queues used by the peeling and LCPS algorithms.
+//!
+//! Two variants are needed:
+//!
+//! * [`PeelBuckets`] — the Batagelj–Zaversnik array layout (`bin`, `pos`,
+//!   `vert`) that the peeling phase (Alg. 1 of the paper) relies on. It
+//!   supports `pop_min` with a monotone cursor and O(1) `decrement`,
+//!   giving the classic O(n + m) k-core peeling bound.
+//! * [`MaxBuckets`] — a max-priority bucket queue with a movable cursor,
+//!   which is exactly the "bucket data structure" the paper plugs into
+//!   Matula & Beck's LCPS to make its priority queue maintainable (§5.1).
+
+/// Min-bucket structure over integer keys, specialized for peeling:
+/// keys only ever *decrease by one at a time*, and never below the key of
+/// the most recently popped element.
+#[derive(Clone, Debug)]
+pub struct PeelBuckets {
+    /// `bin[d]` = first index in `vert` of the (unpopped part of the)
+    /// bucket with key `d`. Length `max_key + 2`.
+    bin: Vec<usize>,
+    /// `pos[x]` = current index of element `x` in `vert`.
+    pos: Vec<usize>,
+    /// Elements sorted by current key; `vert[cursor..]` are unpopped.
+    vert: Vec<u32>,
+    /// Current key of every element.
+    key: Vec<u32>,
+    cursor: usize,
+    /// Key of the most recently popped element (monotone non-decreasing).
+    floor: u32,
+}
+
+impl PeelBuckets {
+    /// Builds the structure from initial keys (one per element `0..n`).
+    pub fn new(keys: Vec<u32>) -> Self {
+        let n = keys.len();
+        let max_key = keys.iter().copied().max().unwrap_or(0) as usize;
+        // Counting sort into `vert`.
+        let mut bin = vec![0usize; max_key + 2];
+        for &k in &keys {
+            bin[k as usize + 1] += 1;
+        }
+        for d in 1..bin.len() {
+            bin[d] += bin[d - 1];
+        }
+        let mut vert = vec![0u32; n];
+        let mut pos = vec![0usize; n];
+        let mut cursor_per_key = bin.clone();
+        for x in 0..n {
+            let k = keys[x] as usize;
+            let p = cursor_per_key[k];
+            vert[p] = x as u32;
+            pos[x] = p;
+            cursor_per_key[k] += 1;
+        }
+        PeelBuckets {
+            bin,
+            pos,
+            vert,
+            key: keys,
+            cursor: 0,
+            floor: 0,
+        }
+    }
+
+    /// Number of elements (popped or not).
+    pub fn len(&self) -> usize {
+        self.vert.len()
+    }
+
+    /// True when every element has been popped.
+    pub fn is_empty(&self) -> bool {
+        self.cursor >= self.vert.len()
+    }
+
+    /// Current key of element `x`.
+    #[inline]
+    pub fn key(&self, x: u32) -> u32 {
+        self.key[x as usize]
+    }
+
+    /// Whether `x` has already been popped.
+    #[inline]
+    pub fn is_popped(&self, x: u32) -> bool {
+        self.pos[x as usize] < self.cursor
+    }
+
+    /// Pops an element with the minimum current key.
+    ///
+    /// Returns `(element, key)`. Keys returned by successive pops are
+    /// non-decreasing — this is the monotonicity the peeling process
+    /// guarantees and the hierarchy algorithms exploit.
+    pub fn pop_min(&mut self) -> Option<(u32, u32)> {
+        if self.cursor >= self.vert.len() {
+            return None;
+        }
+        let x = self.vert[self.cursor];
+        let k = self.key[x as usize];
+        debug_assert!(
+            k >= self.floor,
+            "bucket keys regressed: {k} < {}",
+            self.floor
+        );
+        self.floor = k;
+        // Keep `bin` consistent: every bucket ≤ k starts after the cursor.
+        for d in &mut self.bin[..=k as usize + 1] {
+            if *d <= self.cursor {
+                *d = self.cursor + 1;
+            }
+        }
+        self.cursor += 1;
+        Some((x, k))
+    }
+
+    /// Decrements the key of an unpopped element by one.
+    ///
+    /// Must only be called when `key(x)` is strictly greater than the key
+    /// of the last element popped (the peeling guard `ω(v) > ω(u)`), which
+    /// keeps the layout valid.
+    #[inline]
+    pub fn decrement(&mut self, x: u32) {
+        let xi = x as usize;
+        let d = self.key[xi] as usize;
+        debug_assert!(!self.is_popped(x), "decrement of popped element {x}");
+        debug_assert!(
+            self.key[xi] > self.floor,
+            "decrement would drop key below peeling floor"
+        );
+        let p = self.pos[xi];
+        let start = self.bin[d].max(self.cursor);
+        self.bin[d] = start; // normalize stale starts lazily
+        let w = self.vert[start];
+        if w != x {
+            self.vert[p] = w;
+            self.vert[start] = x;
+            self.pos[w as usize] = p;
+            self.pos[xi] = start;
+        }
+        self.bin[d] = start + 1;
+        self.key[xi] -= 1;
+    }
+}
+
+/// Max-priority bucket queue for the LCPS traversal: elements are pushed
+/// with a fixed priority and popped highest-first. `O(1)` push; pops cost
+/// amortized `O(1)` plus cursor movement bounded by total priority drift.
+#[derive(Clone, Debug)]
+pub struct MaxBuckets {
+    buckets: Vec<Vec<u32>>,
+    cur_max: usize,
+    len: usize,
+}
+
+impl MaxBuckets {
+    /// Queue accepting priorities `0..=max_priority`.
+    pub fn new(max_priority: u32) -> Self {
+        MaxBuckets {
+            buckets: vec![Vec::new(); max_priority as usize + 1],
+            cur_max: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no element is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pushes `x` with priority `p`.
+    #[inline]
+    pub fn push(&mut self, x: u32, p: u32) {
+        let p = p as usize;
+        debug_assert!(p < self.buckets.len());
+        self.buckets[p].push(x);
+        if p > self.cur_max {
+            self.cur_max = p;
+        }
+        self.len += 1;
+    }
+
+    /// Pops an element with the maximum priority, returning `(x, p)`.
+    pub fn pop_max(&mut self) -> Option<(u32, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.buckets[self.cur_max].is_empty() {
+            // len > 0 guarantees a non-empty bucket below.
+            self.cur_max -= 1;
+        }
+        let x = self.buckets[self.cur_max].pop().expect("non-empty bucket");
+        self.len -= 1;
+        Some((x, self.cur_max as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peel_pop_order_is_monotone() {
+        let mut q = PeelBuckets::new(vec![3, 1, 4, 1, 5, 9, 2, 6]);
+        let mut last = 0;
+        let mut seen = vec![];
+        while let Some((x, k)) = q.pop_min() {
+            assert!(k >= last);
+            last = k;
+            seen.push(x);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peel_decrement_moves_element_earlier() {
+        // keys: a=0 b=2 c=2
+        let mut q = PeelBuckets::new(vec![0, 2, 2]);
+        let (x, k) = q.pop_min().unwrap();
+        assert_eq!((x, k), (0, 0));
+        q.decrement(1); // b: 2 -> 1
+        let (x, k) = q.pop_min().unwrap();
+        assert_eq!((x, k), (1, 1));
+        let (x, k) = q.pop_min().unwrap();
+        assert_eq!((x, k), (2, 2));
+        assert!(q.pop_min().is_none());
+    }
+
+    #[test]
+    fn peel_simulates_kcore_peeling() {
+        // Degrees of a path 0-1-2-3: [1,2,2,1]; peeling yields all core 1.
+        let mut q = PeelBuckets::new(vec![1, 2, 2, 1]);
+        let adj: Vec<Vec<u32>> = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+        let mut lambda = vec![0u32; 4];
+        while let Some((u, k)) = q.pop_min() {
+            lambda[u as usize] = k;
+            for &v in &adj[u as usize] {
+                if !q.is_popped(v) && q.key(v) > k {
+                    q.decrement(v);
+                }
+            }
+        }
+        assert_eq!(lambda, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn peel_all_equal_keys() {
+        let mut q = PeelBuckets::new(vec![7; 5]);
+        for _ in 0..5 {
+            let (_, k) = q.pop_min().unwrap();
+            assert_eq!(k, 7);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peel_empty() {
+        let mut q = PeelBuckets::new(vec![]);
+        assert!(q.pop_min().is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn max_buckets_pop_highest_first() {
+        let mut q = MaxBuckets::new(10);
+        q.push(1, 3);
+        q.push(2, 7);
+        q.push(3, 7);
+        q.push(4, 0);
+        let (x, p) = q.pop_max().unwrap();
+        assert_eq!(p, 7);
+        assert!(x == 2 || x == 3);
+        q.push(5, 9); // priority can rise above the current max
+        assert_eq!(q.pop_max().unwrap(), (5, 9));
+        let (_, p) = q.pop_max().unwrap();
+        assert_eq!(p, 7);
+        assert_eq!(q.pop_max().unwrap(), (1, 3));
+        assert_eq!(q.pop_max().unwrap(), (4, 0));
+        assert!(q.pop_max().is_none());
+    }
+
+    #[test]
+    fn max_buckets_len_tracking() {
+        let mut q = MaxBuckets::new(2);
+        assert!(q.is_empty());
+        q.push(0, 1);
+        q.push(1, 1);
+        assert_eq!(q.len(), 2);
+        q.pop_max();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type for graph I/O and construction.
+
+use std::fmt;
+
+/// Errors produced by this crate's fallible operations (chiefly I/O).
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Offending content (truncated).
+        content: String,
+    },
+    /// A binary graph file had an invalid header or truncated body.
+    Format(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, content } => {
+                write!(f, "parse error at line {line}: {content:?}")
+            }
+            GraphError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}

@@ -1,0 +1,155 @@
+//! Structural graph metrics: degree statistics and clustering
+//! coefficients — the quantities the paper's introduction leans on
+//! ("vertex neighborhoods are dense", "clustering coefficients and
+//! transitivity of real-world networks are high").
+
+use crate::csr::CsrGraph;
+
+/// Degree distribution summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree (2m/n).
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+}
+
+/// Computes the degree summary of `g` (O(n log n) for the median).
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.n();
+    if n == 0 {
+        return DegreeStats::default();
+    }
+    let mut degs: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+    degs.sort_unstable();
+    DegreeStats {
+        min: degs[0],
+        max: degs[n - 1],
+        mean: 2.0 * g.m() as f64 / n as f64,
+        median: degs[n / 2],
+    }
+}
+
+/// Number of wedges (paths of length 2): `Σ_v C(deg(v), 2)`.
+pub fn wedge_count(g: &CsrGraph) -> u64 {
+    (0..g.n() as u32)
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// Global clustering coefficient (transitivity):
+/// `3 × triangles / wedges`. Requires the triangle count as input so the
+/// caller can reuse an existing enumeration.
+pub fn transitivity(g: &CsrGraph, triangles: u64) -> f64 {
+    let w = wedge_count(g);
+    if w == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / w as f64
+    }
+}
+
+/// Local clustering coefficient of one vertex:
+/// `#edges among neighbors / C(deg, 2)`.
+pub fn local_clustering(g: &CsrGraph, v: u32) -> f64 {
+    let nbrs = g.neighbors(v);
+    let d = nbrs.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut links = 0u64;
+    for (i, &u) in nbrs.iter().enumerate() {
+        // count adjacencies between u and the later neighbors
+        let a = &nbrs[i + 1..];
+        let b = g.neighbors(u);
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < a.len() && q < b.len() {
+            match a[p].cmp(&b[q]) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => {
+                    links += 1;
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+    }
+    links as f64 / ((d * (d - 1)) as f64 / 2.0)
+}
+
+/// Average local clustering coefficient (Watts–Strogatz style).
+pub fn average_clustering(g: &CsrGraph) -> f64 {
+    if g.n() == 0 {
+        return 0.0;
+    }
+    let sum: f64 = (0..g.n() as u32).map(|v| local_clustering(g, v)).sum();
+    sum / g.n() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: u32) -> CsrGraph {
+        let mut edges = vec![];
+        for u in 0..n {
+            for v in u + 1..n {
+                edges.push((u, v));
+            }
+        }
+        CsrGraph::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn clique_is_fully_clustered() {
+        let g = complete(6);
+        assert_eq!(local_clustering(&g, 0), 1.0);
+        assert_eq!(average_clustering(&g), 1.0);
+        // K6: 20 triangles, wedges = 6 * C(5,2) = 60, transitivity = 1
+        assert_eq!(wedge_count(&g), 60);
+        assert!((transitivity(&g, 20) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(transitivity(&g, 0), 0.0);
+        assert_eq!(wedge_count(&g), 6);
+    }
+
+    #[test]
+    fn degree_summary() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert_eq!(s.median, 1);
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(degree_stats(&g), DegreeStats::default());
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn diamond_local_clustering() {
+        // 0-1-2 triangle + 1-2-3 triangle
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        // vertex 1: neighbors {0,2,3}; among them one edge... (0,2) yes,
+        // (2,3) yes → 2 links out of 3 pairs
+        assert!((local_clustering(&g, 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, 0), 1.0);
+    }
+}

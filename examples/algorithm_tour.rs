@@ -1,0 +1,56 @@
+//! Algorithm tour: run every hierarchy algorithm on the same graph,
+//! verify they agree, and print a timing table — a miniature of the
+//! paper's Tables 4 and 5.
+//!
+//! ```sh
+//! cargo run --release --example algorithm_tour [n_blocks]
+//! ```
+
+use nucleus_hierarchy::gen::planted::planted_partition;
+use nucleus_hierarchy::prelude::*;
+
+fn main() {
+    let blocks: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(12);
+    let g = planted_partition(blocks, 80, 0.30, 0.005, 9);
+    println!("graph: {} vertices, {} edges\n", g.n(), g.m());
+
+    for kind in [Kind::Core, Kind::Truss, Kind::Nucleus34] {
+        println!("--- {kind} decomposition ---");
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>8}",
+            "algo", "peel", "post", "total", "nuclei"
+        );
+        let mut reference: Option<Hierarchy> = None;
+        for &algo in Algorithm::for_kind(kind) {
+            let d = decompose(&g, kind, algo).expect("supported");
+            println!(
+                "{:<8} {:>12} {:>12} {:>12} {:>8}",
+                algo.to_string(),
+                format!("{:.2?}", d.times.peel),
+                format!("{:.2?}", d.times.post),
+                format!("{:.2?}", d.times.total()),
+                d.hierarchy.nucleus_count()
+            );
+            match &reference {
+                None => reference = Some(d.hierarchy),
+                Some(r) => assert!(
+                    *r == d.hierarchy,
+                    "{algo} disagrees with the reference hierarchy for {kind}"
+                ),
+            }
+        }
+        let (times, _) = hypo_baseline(&g, kind);
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>8}",
+            "Hypo",
+            format!("{:.2?}", times.peel),
+            format!("{:.2?}", times.post),
+            format!("{:.2?}", times.total()),
+            "—"
+        );
+        println!("all algorithms agree ✓\n");
+    }
+}

@@ -1,0 +1,108 @@
+//! Community detection with (2,3) nuclei — the paper-intro use case of
+//! finding communities in social networks (Huang et al.'s k-truss
+//! communities are exactly the (2,3) nuclei).
+//!
+//! A planted-partition graph provides ground truth; we recover the
+//! communities as the leaf nuclei of the (2,3) hierarchy and score the
+//! assignment against the plant.
+//!
+//! ```sh
+//! cargo run --release --example community_detection
+//! ```
+
+use std::collections::HashMap;
+
+use nucleus_hierarchy::gen::planted::{planted_block_of, planted_partition};
+use nucleus_hierarchy::prelude::*;
+
+const BLOCKS: u32 = 8;
+const BLOCK_SIZE: u32 = 60;
+
+fn main() {
+    let g = planted_partition(BLOCKS, BLOCK_SIZE, 0.35, 0.01, 42);
+    println!(
+        "planted partition: {} blocks × {} vertices, {} edges",
+        BLOCKS,
+        BLOCK_SIZE,
+        g.m()
+    );
+
+    let d = decompose(&g, Kind::Truss, Algorithm::Fnd).expect("decomposition");
+    println!("(2,3) hierarchy: {}", describe(&d));
+
+    // Communities = maximal nuclei at a chosen strength k. Sweep k and
+    // report how well each level matches the plant.
+    let es = EdgeSpace::new(&g);
+    println!("\n  k | nuclei | coverage | purity");
+    println!("----|--------|----------|-------");
+    let mut best = (0u32, 0.0f64);
+    for k in 1..=d.hierarchy.max_lambda() {
+        let nuclei = d.hierarchy.nuclei_at(k);
+        if nuclei.is_empty() {
+            continue;
+        }
+        let mut covered = 0usize;
+        let mut pure = 0usize;
+        let mut assigned = 0usize;
+        for &node in &nuclei {
+            let verts = nucleus_vertices(&es, &d.hierarchy, node);
+            covered += verts.len();
+            // majority block inside this nucleus
+            let mut counts: HashMap<u32, usize> = HashMap::new();
+            for &v in &verts {
+                *counts.entry(planted_block_of(v, BLOCK_SIZE)).or_default() += 1;
+            }
+            let majority = counts.values().copied().max().unwrap_or(0);
+            pure += majority;
+            assigned += verts.len();
+        }
+        let coverage = covered as f64 / g.n() as f64;
+        let purity = if assigned == 0 {
+            0.0
+        } else {
+            pure as f64 / assigned as f64
+        };
+        println!(
+            "{k:>3} | {:>6} | {:>7.1}% | {:>5.1}%",
+            nuclei.len(),
+            coverage * 100.0,
+            purity * 100.0
+        );
+        // favor levels that recover the planted count with high purity
+        let score = purity
+            * coverage
+            * if nuclei.len() == BLOCKS as usize {
+                1.2
+            } else {
+                1.0
+            };
+        if score > best.1 {
+            best = (k, score);
+        }
+    }
+    println!("\nbest level: k = {}", best.0);
+
+    let nuclei = d.hierarchy.nuclei_at(best.0);
+    println!(
+        "recovered {} communities (planted: {BLOCKS}):",
+        nuclei.len()
+    );
+    for &node in nuclei.iter().take(10) {
+        let verts = nucleus_vertices(&es, &d.hierarchy, node);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for &v in &verts {
+            *counts.entry(planted_block_of(v, BLOCK_SIZE)).or_default() += 1;
+        }
+        let (block, majority) = counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&b, &c)| (b, c))
+            .unwrap_or((0, 0));
+        println!(
+            "  nucleus k={:<2} |V|={:<4} → block {block} ({:.0}% pure)",
+            d.hierarchy.node(node).lambda,
+            verts.len(),
+            100.0 * majority as f64 / verts.len() as f64
+        );
+    }
+}

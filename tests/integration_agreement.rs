@@ -1,0 +1,81 @@
+//! Cross-crate integration: every algorithm produces the identical
+//! canonical hierarchy on every surrogate dataset (Small scale), for all
+//! three decomposition families.
+
+use nucleus_hierarchy::core::validate::check_semantics;
+use nucleus_hierarchy::gen::{dataset, dataset_names, Scale};
+use nucleus_hierarchy::prelude::*;
+
+#[test]
+fn all_algorithms_agree_on_all_surrogates() {
+    for name in dataset_names() {
+        let g = dataset(name, Scale::Small);
+        for kind in [Kind::Core, Kind::Truss, Kind::Nucleus34] {
+            let mut reference: Option<(Algorithm, Hierarchy)> = None;
+            for &algo in Algorithm::for_kind(kind) {
+                let d = decompose(&g, kind, algo).expect("supported combo");
+                d.hierarchy
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{name}/{kind}/{algo}: invalid hierarchy: {e}"));
+                match &reference {
+                    None => reference = Some((algo, d.hierarchy)),
+                    Some((ref_algo, ref_h)) => assert!(
+                        *ref_h == d.hierarchy,
+                        "{name}/{kind}: {algo} disagrees with {ref_algo}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn semantics_hold_on_structured_surrogates() {
+    // Full Definition-2 check (quadratic) on the two smallest datasets.
+    for name in ["mit-s", "uk2005-s"] {
+        let g = dataset(name, Scale::Small);
+        let vs = VertexSpace::new(&g);
+        let p = peel(&vs);
+        let (h, _) = nucleus_hierarchy::core::algo::dft::dft(&vs, &p);
+        check_semantics(&vs, &h).expect("(1,2) semantics");
+
+        let es = EdgeSpace::new(&g);
+        let p = peel(&es);
+        let (h, _) = nucleus_hierarchy::core::algo::dft::dft(&es, &p);
+        check_semantics(&es, &h).expect("(2,3) semantics");
+    }
+}
+
+#[test]
+fn phase_times_and_stats_are_reported() {
+    let g = dataset("stanford3-s", Scale::Small);
+    let d = decompose(&g, Kind::Truss, Algorithm::Fnd).unwrap();
+    assert!(d.stats.subnuclei > 0, "FND must report |T*|");
+    assert!(d.times.total().as_nanos() > 0);
+    let d2 = decompose(&g, Kind::Truss, Algorithm::Dft).unwrap();
+    assert!(d2.stats.subnuclei > 0, "DFT must report |T|");
+    // |T| (maximal) never exceeds |T*| (possibly split)
+    assert!(d2.stats.subnuclei <= d.stats.subnuclei);
+}
+
+#[test]
+fn nuclei_nest_across_levels() {
+    let g = dataset("berkeley13-s", Scale::Small);
+    let d = decompose(&g, Kind::Truss, Algorithm::Fnd).unwrap();
+    let h = &d.hierarchy;
+    for k in 2..=h.max_lambda() {
+        for id in h.nuclei_at(k) {
+            // each k-nucleus is contained in exactly one (k-1)-nucleus
+            let members = h.nucleus_cells(id);
+            let parents: std::collections::HashSet<u32> = h
+                .nuclei_at(k - 1)
+                .into_iter()
+                .filter(|&p| {
+                    let pm = h.nucleus_cells(p);
+                    members.iter().all(|c| pm.contains(c))
+                })
+                .collect();
+            assert_eq!(parents.len(), 1, "k={k} nucleus {id} containment");
+        }
+    }
+}

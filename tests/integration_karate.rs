@@ -1,0 +1,73 @@
+//! End-to-end ground-truth facts on Zachary's karate club — a dataset
+//! whose density structure is documented across three decades of
+//! literature.
+
+use nucleus_hierarchy::gen::karate::karate_club;
+use nucleus_hierarchy::prelude::*;
+
+#[test]
+fn karate_core_structure() {
+    let g = karate_club();
+    let d = decompose(&g, Kind::Core, Algorithm::Lcps).unwrap();
+    // degeneracy 4
+    assert_eq!(d.hierarchy.max_lambda(), 4);
+    // the famous 4-core: instructor (0), president (33) and the inner circle
+    let deepest = d.hierarchy.nuclei_at(4);
+    assert_eq!(deepest.len(), 1);
+    let vs = VertexSpace::new(&g);
+    let members = nucleus_vertices(&vs, &d.hierarchy, deepest[0]);
+    assert!(members.contains(&0), "Mr. Hi is in the 4-core");
+    assert!(members.contains(&33), "the president is in the 4-core");
+    // whole graph is connected: exactly one 1-core
+    assert_eq!(d.hierarchy.nuclei_at(1).len(), 1);
+    assert_eq!(
+        d.hierarchy.node(d.hierarchy.nuclei_at(1)[0]).subtree_cells,
+        34
+    );
+}
+
+#[test]
+fn karate_truss_structure() {
+    let g = karate_club();
+    let d = decompose(&g, Kind::Truss, Algorithm::Fnd).unwrap();
+    assert!(d.hierarchy.max_lambda() >= 3, "karate has strong triangles");
+    // the deepest truss community contains the 0-33 axis cliques
+    let es = EdgeSpace::new(&g);
+    let deepest = d
+        .hierarchy
+        .leaves()
+        .into_iter()
+        .max_by_key(|&id| d.hierarchy.node(id).lambda)
+        .unwrap();
+    let verts = nucleus_vertices(&es, &d.hierarchy, deepest);
+    assert!(verts.len() >= 4);
+    let density = g.induced_density(&verts);
+    assert!(
+        density > 0.5,
+        "deepest truss community must be dense, got {density}"
+    );
+}
+
+#[test]
+fn karate_34_structure() {
+    let g = karate_club();
+    let d = decompose(&g, Kind::Nucleus34, Algorithm::Fnd).unwrap();
+    // karate club has K5s around the hubs → λ₄ ≥ 1 somewhere
+    assert!(d.hierarchy.max_lambda() >= 1);
+    // all algorithms agree here too
+    let d2 = decompose(&g, Kind::Nucleus34, Algorithm::Naive).unwrap();
+    assert!(d.hierarchy == d2.hierarchy);
+}
+
+#[test]
+fn karate_hierarchy_depth_ordering() {
+    // hierarchy depth grows with decomposition strength on this graph:
+    // (3,4) ≤ (1,2) ≤ (2,3) nuclei counts reported by the paper's thesis
+    // that higher-order nuclei are fewer but denser.
+    let g = karate_club();
+    let core = decompose(&g, Kind::Core, Algorithm::Fnd).unwrap();
+    let truss = decompose(&g, Kind::Truss, Algorithm::Fnd).unwrap();
+    let n34 = decompose(&g, Kind::Nucleus34, Algorithm::Fnd).unwrap();
+    assert!(n34.hierarchy.nucleus_count() <= truss.hierarchy.nucleus_count());
+    assert!(core.hierarchy.nucleus_count() <= truss.hierarchy.nucleus_count());
+}
