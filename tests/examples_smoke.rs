@@ -1,0 +1,48 @@
+//! Smoke test: the showcase examples must build *and run* — otherwise
+//! `examples/` rots silently, since example code is never exercised by
+//! unit tests. Runs the two examples the README points newcomers at.
+
+use std::process::Command;
+
+/// Builds and runs one example via the same cargo that runs this test,
+/// returning its stdout.
+fn run_example(name: &str) -> String {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(manifest_dir)
+        .env("RUST_BACKTRACE", "1")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn quickstart_example_runs() {
+    let out = run_example("quickstart");
+    assert!(
+        out.contains("k-core hierarchy"),
+        "quickstart output changed shape:\n{out}"
+    );
+    assert!(
+        out.contains("k-truss hierarchy"),
+        "quickstart output changed shape:\n{out}"
+    );
+}
+
+#[test]
+fn algorithm_tour_example_runs() {
+    let out = run_example("algorithm_tour");
+    assert!(
+        !out.trim().is_empty(),
+        "algorithm_tour printed nothing at all"
+    );
+}
