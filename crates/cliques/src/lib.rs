@@ -15,7 +15,11 @@
 //! * [`four_cliques`] — per-triangle K4 degrees (the ω₄ values peeled by
 //!   the (3,4) decomposition);
 //! * [`kclique`] — a simple recursive k-clique enumerator used as the
-//!   brute-force reference in tests and for Table 3 statistics.
+//!   brute-force reference in tests and for Table 3 statistics;
+//! * [`parallel`] — scoped-thread parallel triangle counting, edge
+//!   supports and K4 degrees, plus the [`balanced_ranges`] work
+//!   partitioner they (and the materialized peeling backend in
+//!   `nucleus-core`) share.
 
 pub mod four_cliques;
 pub mod kclique;
@@ -23,5 +27,6 @@ pub mod parallel;
 pub mod triangle_index;
 pub mod triangles;
 
+pub use parallel::{balanced_ranges, fill_ranges_scoped, k4_degrees_parallel};
 pub use triangle_index::TriangleIndex;
 pub use triangles::TriangleList;

@@ -6,17 +6,27 @@
 
 use nucleus_graph::CsrGraph;
 
-use crate::triangles::OrientedAdjacency;
+use crate::four_cliques::intersect3_sorted;
+use crate::triangles::{OrientedAdjacency, TriangleList};
 
-/// Splits `0..n` into `parts` ranges with approximately equal total
-/// weight (`weight[i]` per item). Returns range boundaries.
-fn balanced_ranges(weights: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
+/// Splits `0..weights.len()` into at most `parts` contiguous ranges of
+/// approximately equal total weight (`weights[i]` per item). The ranges
+/// are disjoint, in order, and cover every index; at most one range is
+/// returned for an empty input. Used to hand each worker thread a
+/// comparable share of enumeration work.
+pub fn balanced_ranges(weights: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1);
     let total: usize = weights.iter().sum();
-    let per_part = total.div_ceil(parts.max(1)).max(1);
+    let per_part = total.div_ceil(parts).max(1);
     let mut out = Vec::with_capacity(parts);
     let mut start = 0usize;
     let mut acc = 0usize;
     for (i, w) in weights.iter().enumerate() {
+        // Once parts - 1 ranges are cut, everything left is the last one
+        // (zero-weight tails used to overflow the cap here).
+        if out.len() + 1 == parts {
+            break;
+        }
         acc += w;
         if acc >= per_part {
             out.push(start..i + 1);
@@ -24,13 +34,39 @@ fn balanced_ranges(weights: &[usize], parts: usize) -> Vec<std::ops::Range<usize
             acc = 0;
         }
     }
-    if start < weights.len() {
+    if start < weights.len() || out.is_empty() {
         out.push(start..weights.len());
     }
-    if out.is_empty() {
-        out.push(0..weights.len());
-    }
+    debug_assert!(out.len() <= parts);
     out
+}
+
+/// Splits `out` into one disjoint chunk per range and runs
+/// `work(range, chunk)` on a scoped worker thread per chunk.
+///
+/// `ranges` must be the contiguous, in-order cover of `0..n` that
+/// [`balanced_ranges`] produces, and `chunk_len(&range)` must give each
+/// range's share of `out` (the shares must tile `out` front to back).
+/// This keeps the `split_at_mut` cursor arithmetic every parallel fill
+/// needs in one audited place.
+pub fn fill_ranges_scoped<L, W>(
+    out: &mut [u32],
+    ranges: Vec<std::ops::Range<usize>>,
+    chunk_len: L,
+    work: W,
+) where
+    L: Fn(&std::ops::Range<usize>) -> usize,
+    W: Fn(std::ops::Range<usize>, &mut [u32]) + Sync,
+{
+    std::thread::scope(|scope| {
+        let mut rest: &mut [u32] = out;
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(chunk_len(&range));
+            rest = tail;
+            let work = &work;
+            scope.spawn(move || work(range, chunk));
+        }
+    });
 }
 
 /// Counts triangles using `threads` worker threads.
@@ -135,9 +171,40 @@ pub fn edge_supports_parallel(g: &CsrGraph, threads: usize) -> Vec<u32> {
     total
 }
 
+/// Computes per-triangle K4 degrees using `threads` worker threads —
+/// the parallel twin of [`crate::four_cliques::k4_degrees`], behind the
+/// same thread-count knob as [`triangle_count_parallel`]. Triangles are
+/// independent, so each worker fills a disjoint slice of the output;
+/// ranges are balanced by the triangles' total endpoint degree (the
+/// three-way intersection cost).
+pub fn k4_degrees_parallel(g: &CsrGraph, tris: &TriangleList, threads: usize) -> Vec<u32> {
+    let n = tris.len();
+    let mut deg = vec![0u32; n];
+    let weights: Vec<usize> = tris
+        .vertices
+        .iter()
+        .map(|&[u, v, w]| g.degree(u) + g.degree(v) + g.degree(w) + 1)
+        .collect();
+    let ranges = balanced_ranges(&weights, threads);
+    fill_ranges_scoped(
+        &mut deg,
+        ranges,
+        |range| range.len(),
+        |range, chunk| {
+            for (slot, &[u, v, w]) in chunk.iter_mut().zip(&tris.vertices[range]) {
+                let mut c = 0u32;
+                intersect3_sorted(g.neighbors(u), g.neighbors(v), g.neighbors(w), |_| c += 1);
+                *slot = c;
+            }
+        },
+    );
+    deg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::four_cliques::k4_degrees;
     use crate::triangles::{edge_supports, triangle_count};
 
     fn complete(n: u32) -> CsrGraph {
@@ -181,20 +248,94 @@ mod tests {
         assert_eq!(edge_supports_parallel(&g, 4), vec![0]);
     }
 
-    #[test]
-    fn balanced_ranges_cover_everything() {
-        let w = vec![5, 1, 1, 1, 10, 1, 1];
-        let ranges = balanced_ranges(&w, 3);
-        let mut covered = vec![false; w.len()];
-        for r in &ranges {
+    /// Asserts the ranges are disjoint, ordered, cover `len` items, and
+    /// respect the `parts` cap.
+    fn check_cover(ranges: &[std::ops::Range<usize>], len: usize, parts: usize) {
+        assert!(ranges.len() <= parts.max(1), "{ranges:?} exceeds {parts}");
+        let mut covered = vec![false; len];
+        for r in ranges {
             for i in r.clone() {
                 assert!(!covered[i], "overlap at {i}");
                 covered[i] = true;
             }
         }
-        assert!(covered.iter().all(|&c| c));
+        assert!(covered.iter().all(|&c| c), "gap in {ranges:?}");
+    }
+
+    #[test]
+    fn balanced_ranges_cover_everything() {
+        let w = vec![5, 1, 1, 1, 10, 1, 1];
+        for parts in 1..=8 {
+            check_cover(&balanced_ranges(&w, parts), w.len(), parts);
+        }
         // degenerate cases
         assert_eq!(balanced_ranges(&[], 3).len(), 1);
         assert_eq!(balanced_ranges(&[1], 1), vec![0..1]);
+    }
+
+    #[test]
+    fn balanced_ranges_never_exceed_parts() {
+        // A zero-weight tail used to produce parts + 1 ranges: the loop
+        // consumed all the weight early and the leftover indices became
+        // an extra range.
+        let ranges = balanced_ranges(&[1, 0], 1);
+        assert_eq!(ranges, vec![0..2]);
+        let ranges = balanced_ranges(&[3, 3, 0, 0, 0], 2);
+        check_cover(&ranges, 5, 2);
+        // heavy head + zero tail at several part counts
+        let w = vec![9, 9, 9, 0, 0, 0, 0];
+        for parts in 1..=10 {
+            check_cover(&balanced_ranges(&w, parts), w.len(), parts);
+        }
+    }
+
+    #[test]
+    fn balanced_ranges_all_zero_weights() {
+        let w = vec![0usize; 6];
+        for parts in [1, 2, 3, 7] {
+            let ranges = balanced_ranges(&w, parts);
+            check_cover(&ranges, w.len(), parts);
+        }
+    }
+
+    #[test]
+    fn balanced_ranges_more_parts_than_items() {
+        let w = vec![2, 1];
+        for parts in [3, 5, 100] {
+            let ranges = balanced_ranges(&w, parts);
+            check_cover(&ranges, w.len(), parts);
+            // no empty ranges are handed to workers
+            assert!(ranges.iter().all(|r| !r.is_empty()), "{ranges:?}");
+        }
+        // parts = 0 is clamped to 1
+        assert_eq!(balanced_ranges(&w, 0), vec![0..2]);
+    }
+
+    #[test]
+    fn k4_degrees_parallel_matches_serial() {
+        let g = complete(12);
+        let tl = TriangleList::build(&g);
+        let serial = k4_degrees(&g, &tl);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(k4_degrees_parallel(&g, &tl, threads), serial);
+        }
+
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let edges: Vec<(u32, u32)> = (0..1500)
+            .map(|_| (rng.gen_range(0..160u32), rng.gen_range(0..160u32)))
+            .collect();
+        let g = CsrGraph::from_edges(160, &edges);
+        let tl = TriangleList::build(&g);
+        let serial = k4_degrees(&g, &tl);
+        for threads in [1, 3, 8] {
+            assert_eq!(k4_degrees_parallel(&g, &tl, threads), serial);
+        }
+
+        // no triangles at all
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let tl = TriangleList::build(&g);
+        assert_eq!(k4_degrees_parallel(&g, &tl, 4), Vec::<u32>::new());
     }
 }

@@ -5,7 +5,7 @@
 use crate::hierarchy::{Hierarchy, NO_NODE};
 use crate::peel::Peeling;
 use crate::skeleton::Skeleton;
-use crate::space::PeelSpace;
+use crate::space::{PeelBackend, PeelSpace};
 
 /// Counters reported alongside the DFT hierarchy (Table 3 columns).
 #[derive(Clone, Copy, Debug, Default)]
@@ -49,7 +49,7 @@ pub fn dft<S: PeelSpace>(space: &S, peeling: &Peeling) -> (Hierarchy, DftStats) 
 /// decreasing-λ order and wires the hierarchy-skeleton, without the
 /// final contraction. Exposed for skeleton analytics
 /// ([`crate::analytics`]); most callers want [`dft`].
-pub fn dft_skeleton<S: PeelSpace>(space: &S, peeling: &Peeling) -> (Skeleton, DftStats) {
+pub fn dft_skeleton<B: PeelBackend>(space: &B, peeling: &Peeling) -> (Skeleton, DftStats) {
     let n = space.cell_count();
     let mut sk = Skeleton::new(n);
     let mut visited = vec![false; n];

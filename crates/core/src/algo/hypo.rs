@@ -5,11 +5,11 @@
 //! Beating Hypo (as FND does, Tables 4/5) proves an algorithm does
 //! better than *any* conceivable traversal-based approach.
 
-use crate::space::PeelSpace;
+use crate::space::PeelBackend;
 
 /// One full sweep over every cell and container; returns the number of
 /// s-connectivity components so the work cannot be optimized away.
-pub fn hypo_sweep<S: PeelSpace>(space: &S) -> usize {
+pub fn hypo_sweep<B: PeelBackend>(space: &B) -> usize {
     let n = space.cell_count();
     let mut visited = vec![false; n];
     let mut queue: Vec<u32> = Vec::new();

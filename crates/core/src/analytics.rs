@@ -9,7 +9,7 @@
 use crate::hierarchy::NO_NODE;
 use crate::peel::Peeling;
 use crate::skeleton::Skeleton;
-use crate::space::PeelSpace;
+use crate::space::PeelBackend;
 
 /// One sub-(r,s) nucleus (T_{r,s}) of the skeleton.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,7 +73,7 @@ impl SkeletonProfile {
 
 /// Builds the sub-nucleus profile of a peeled space by running the DFT
 /// traversal and reading the skeleton *before* contraction.
-pub fn skeleton_profile<S: PeelSpace>(space: &S, peeling: &Peeling) -> SkeletonProfile {
+pub fn skeleton_profile<B: PeelBackend>(space: &B, peeling: &Peeling) -> SkeletonProfile {
     // Re-run the DFT sub-nucleus discovery, but capture sizes.
     // (dft() consumes its skeleton into the hierarchy, so analytics
     // re-derives it; cost is one extra traversal, analysis-time only.)

@@ -13,7 +13,9 @@ use crate::algo::naive::naive;
 use crate::error::CoreError;
 use crate::hierarchy::Hierarchy;
 use crate::peel::{peel, Peeling};
-use crate::space::{EdgeSpace, PeelSpace, TriangleSpace, VertexSpace};
+use crate::space::{
+    ContainerIndex, EdgeSpace, MaterializedSpace, PeelSpace, TriangleSpace, VertexSpace,
+};
 
 /// Which decomposition family to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -89,6 +91,86 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
+/// Which peeling backend drives the container enumeration
+/// (see [`crate::space`] for the full trade-off discussion).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Re-enumerate containers on every visit (no extra memory).
+    Lazy,
+    /// Build a [`ContainerIndex`] once, then peel/traverse flat arrays.
+    Materialized,
+    /// Materialize when the estimated index fits
+    /// [`Backend::AUTO_BYTE_CAP`]; fall back to lazy otherwise.
+    #[default]
+    Auto,
+}
+
+impl Backend {
+    /// `Auto` materializes while the estimated index stays under this
+    /// cap (1 GiB): past it the index's build cost and memory traffic
+    /// start competing with the peeling it is meant to accelerate.
+    pub const AUTO_BYTE_CAP: usize = 1 << 30;
+
+    /// Resolves the choice for a concrete space: should it materialize?
+    pub fn materialize<S: PeelSpace>(self, space: &S) -> bool {
+        self.wants_index(|| ContainerIndex::estimate_bytes(space))
+    }
+
+    /// The single home of the policy: `Lazy` never materializes,
+    /// `Materialized` always does, `Auto` iff the estimated index fits
+    /// [`Backend::AUTO_BYTE_CAP`]. `estimate` is only invoked for `Auto`.
+    fn wants_index(self, estimate: impl FnOnce() -> usize) -> bool {
+        match self {
+            Backend::Lazy => false,
+            Backend::Materialized => true,
+            Backend::Auto => estimate() <= Self::AUTO_BYTE_CAP,
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Backend::Lazy => "lazy",
+            Backend::Materialized => "materialized",
+            Backend::Auto => "auto",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Tuning for [`decompose_with`]. [`Default`] selects the backend
+/// automatically and uses every available CPU for index construction;
+/// [`decompose`] runs with these defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct DecomposeOptions {
+    /// Backend selection policy.
+    pub backend: Backend,
+    /// Worker threads for index construction (and parallel ω counting
+    /// where a space supports it). `0` means "all available CPUs".
+    pub threads: usize,
+}
+
+impl Default for DecomposeOptions {
+    fn default() -> Self {
+        DecomposeOptions {
+            backend: Backend::Auto,
+            threads: 0,
+        }
+    }
+}
+
+impl DecomposeOptions {
+    /// The thread count with `0` resolved to the CPU count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        }
+    }
+}
+
 /// Wall-clock phase split, matching Figure 6's peeling/post-processing
 /// decomposition. For FND "peeling" is the extended loop of Alg. 8; for
 /// the others it is space construction + `Set-λ`.
@@ -123,6 +205,9 @@ pub struct Decomposition {
     pub kind: Kind,
     /// Which algorithm produced it.
     pub algorithm: Algorithm,
+    /// The backend that actually ran ([`Backend::Auto`] resolved to
+    /// [`Backend::Lazy`] or [`Backend::Materialized`]).
+    pub backend: Backend,
     /// λ per cell + peeling order.
     pub peeling: Peeling,
     /// The canonical hierarchy of nuclei.
@@ -133,7 +218,8 @@ pub struct Decomposition {
     pub stats: SkeletonStats,
 }
 
-/// Runs the chosen `algorithm` for `kind` on `g`.
+/// Runs the chosen `algorithm` for `kind` on `g` with
+/// [`DecomposeOptions::default`] (automatic backend selection).
 ///
 /// # Errors
 /// [`CoreError::UnsupportedAlgorithm`] when `algorithm` is
@@ -142,6 +228,24 @@ pub fn decompose(
     g: &CsrGraph,
     kind: Kind,
     algorithm: Algorithm,
+) -> Result<Decomposition, CoreError> {
+    decompose_with(g, kind, algorithm, DecomposeOptions::default())
+}
+
+/// Runs the chosen `algorithm` for `kind` on `g` with explicit
+/// [`DecomposeOptions`] — in particular the peeling [`Backend`].
+/// Index construction (materialized backend) is accounted to the
+/// peeling phase, like clique enumeration. LCPS walks the graph
+/// directly and ignores the backend choice.
+///
+/// # Errors
+/// [`CoreError::UnsupportedAlgorithm`] when `algorithm` is
+/// [`Algorithm::Lcps`] and `kind` is not [`Kind::Core`].
+pub fn decompose_with(
+    g: &CsrGraph,
+    kind: Kind,
+    algorithm: Algorithm,
+    options: DecomposeOptions,
 ) -> Result<Decomposition, CoreError> {
     match kind {
         Kind::Core => {
@@ -156,6 +260,7 @@ pub fn decompose(
                 return Ok(Decomposition {
                     kind,
                     algorithm,
+                    backend: Backend::Lazy,
                     stats: SkeletonStats {
                         subnuclei: hierarchy.nucleus_count(),
                         adj_connections: 0,
@@ -168,10 +273,12 @@ pub fn decompose(
                     },
                 });
             }
-            run_generic(g, kind, algorithm, VertexSpace::new)
+            run_generic(g, kind, algorithm, options, VertexSpace::new)
         }
-        Kind::Truss => run_generic(g, kind, algorithm, EdgeSpace::new),
-        Kind::Nucleus34 => run_generic(g, kind, algorithm, TriangleSpace::new),
+        Kind::Truss => run_generic(g, kind, algorithm, options, EdgeSpace::new),
+        Kind::Nucleus34 => run_generic(g, kind, algorithm, options, |g| {
+            TriangleSpace::with_threads(g, options.effective_threads())
+        }),
     }
 }
 
@@ -179,25 +286,67 @@ fn run_generic<'g, S, F>(
     g: &'g CsrGraph,
     kind: Kind,
     algorithm: Algorithm,
+    options: DecomposeOptions,
     make_space: F,
 ) -> Result<Decomposition, CoreError>
 where
-    S: PeelSpace,
+    S: PeelSpace + Sync,
     F: FnOnce(&'g CsrGraph) -> S,
 {
-    match algorithm {
-        Algorithm::Lcps => Err(CoreError::UnsupportedAlgorithm {
+    if algorithm == Algorithm::Lcps {
+        return Err(CoreError::UnsupportedAlgorithm {
             algorithm: "LCPS",
             kind: format!("{kind}"),
-        }),
+        });
+    }
+    let t0 = Instant::now();
+    let space = make_space(g);
+    if let Some(counts) = resolve_counts(options.backend, &space) {
+        let mspace = MaterializedSpace::with_counts(&space, counts, options.effective_threads());
+        run_on_backend(
+            &mspace,
+            t0.elapsed(),
+            kind,
+            algorithm,
+            Backend::Materialized,
+        )
+    } else {
+        run_on_backend(&space, t0.elapsed(), kind, algorithm, Backend::Lazy)
+    }
+}
+
+/// Resolves a backend choice with at most one ω clone: `Some(counts)`
+/// means materialize (the counts feed straight into the index build),
+/// `None` means stay lazy.
+fn resolve_counts<S: PeelSpace>(backend: Backend, space: &S) -> Option<Vec<u32>> {
+    if backend == Backend::Lazy {
+        return None;
+    }
+    let counts = space.degrees();
+    backend
+        .wants_index(|| ContainerIndex::estimate_bytes_from(space.r(), space.s(), &counts))
+        .then_some(counts)
+}
+
+/// The algorithm dispatch, monomorphized once per space *and* backend
+/// (`build_t` covers space construction plus, when materialized, the
+/// index build).
+fn run_on_backend<S: PeelSpace>(
+    space: &S,
+    build_t: Duration,
+    kind: Kind,
+    algorithm: Algorithm,
+    backend: Backend,
+) -> Result<Decomposition, CoreError> {
+    match algorithm {
+        // run_generic rejects LCPS before dispatching to a backend.
+        Algorithm::Lcps => unreachable!("LCPS never reaches backend dispatch"),
         Algorithm::Fnd => {
-            let t0 = Instant::now();
-            let space = make_space(g);
-            let build_t = t0.elapsed();
-            let out = fnd(&space);
+            let out = fnd(space);
             Ok(Decomposition {
                 kind,
                 algorithm,
+                backend,
                 peeling: out.peeling,
                 hierarchy: out.hierarchy,
                 times: PhaseTimes {
@@ -212,18 +361,17 @@ where
         }
         Algorithm::Naive | Algorithm::Dft => {
             let t0 = Instant::now();
-            let space = make_space(g);
-            let peeling = peel(&space);
-            let peel_t = t0.elapsed();
+            let peeling = peel(space);
+            let peel_t = build_t + t0.elapsed();
             let t1 = Instant::now();
             let (hierarchy, subnuclei) = match algorithm {
                 Algorithm::Naive => {
-                    let h = naive(&space, &peeling);
+                    let h = naive(space, &peeling);
                     let c = h.nucleus_count();
                     (h, c)
                 }
                 _ => {
-                    let (h, st) = dft(&space, &peeling);
+                    let (h, st) = dft(space, &peeling);
                     (h, st.subnuclei)
                 }
             };
@@ -231,6 +379,7 @@ where
             Ok(Decomposition {
                 kind,
                 algorithm,
+                backend,
                 peeling,
                 hierarchy,
                 times: PhaseTimes {
@@ -246,11 +395,22 @@ where
     }
 }
 
-/// Runs the *Hypo* baseline for `kind`: peeling plus one full sweep.
-/// Returns the phase times and the number of s-connectivity components;
-/// no hierarchy is produced (that is the point of the baseline).
+/// Runs the *Hypo* baseline for `kind` with default options: peeling
+/// plus one full sweep. Returns the phase times and the number of
+/// s-connectivity components; no hierarchy is produced (that is the
+/// point of the baseline).
 pub fn hypo_baseline(g: &CsrGraph, kind: Kind) -> (PhaseTimes, usize) {
-    fn run<S: PeelSpace>(space: &S, build_t: Duration) -> (PhaseTimes, usize) {
+    hypo_baseline_with(g, kind, DecomposeOptions::default())
+}
+
+/// [`hypo_baseline`] with an explicit backend choice, so the baseline
+/// stays comparable when the other algorithms run materialized.
+pub fn hypo_baseline_with(
+    g: &CsrGraph,
+    kind: Kind,
+    options: DecomposeOptions,
+) -> (PhaseTimes, usize) {
+    fn run<B: crate::space::PeelBackend>(space: &B, build_t: Duration) -> (PhaseTimes, usize) {
         let t0 = Instant::now();
         let _ = peel(space);
         let peel_t = build_t + t0.elapsed();
@@ -264,25 +424,27 @@ pub fn hypo_baseline(g: &CsrGraph, kind: Kind) -> (PhaseTimes, usize) {
             comps,
         )
     }
+    fn dispatch<S: PeelSpace + Sync>(
+        space: &S,
+        t0: Instant,
+        options: DecomposeOptions,
+    ) -> (PhaseTimes, usize) {
+        if let Some(counts) = resolve_counts(options.backend, space) {
+            let m = MaterializedSpace::with_counts(space, counts, options.effective_threads());
+            run(&m, t0.elapsed())
+        } else {
+            run(space, t0.elapsed())
+        }
+    }
+    let t = Instant::now();
     match kind {
-        Kind::Core => {
-            let t = Instant::now();
-            let s = VertexSpace::new(g);
-            let b = t.elapsed();
-            run(&s, b)
-        }
-        Kind::Truss => {
-            let t = Instant::now();
-            let s = EdgeSpace::new(g);
-            let b = t.elapsed();
-            run(&s, b)
-        }
-        Kind::Nucleus34 => {
-            let t = Instant::now();
-            let s = TriangleSpace::new(g);
-            let b = t.elapsed();
-            run(&s, b)
-        }
+        Kind::Core => dispatch(&VertexSpace::new(g), t, options),
+        Kind::Truss => dispatch(&EdgeSpace::new(g), t, options),
+        Kind::Nucleus34 => dispatch(
+            &TriangleSpace::with_threads(g, options.effective_threads()),
+            t,
+            options,
+        ),
     }
 }
 
@@ -326,6 +488,76 @@ mod tests {
             let (times, comps) = hypo_baseline(&g, kind);
             assert!(comps >= 1);
             assert!(times.total().as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn backends_produce_identical_decompositions() {
+        let g = test_graphs::nested_cores();
+        for kind in Kind::all() {
+            for &algo in Algorithm::for_kind(kind) {
+                if algo == Algorithm::Lcps {
+                    continue;
+                }
+                let lazy = decompose_with(
+                    &g,
+                    kind,
+                    algo,
+                    DecomposeOptions {
+                        backend: Backend::Lazy,
+                        threads: 2,
+                    },
+                )
+                .expect("lazy");
+                let mat = decompose_with(
+                    &g,
+                    kind,
+                    algo,
+                    DecomposeOptions {
+                        backend: Backend::Materialized,
+                        threads: 2,
+                    },
+                )
+                .expect("materialized");
+                assert_eq!(lazy.peeling.lambda, mat.peeling.lambda, "{kind}/{algo} λ");
+                assert_eq!(lazy.peeling.order, mat.peeling.order, "{kind}/{algo} order");
+                assert_eq!(lazy.hierarchy, mat.hierarchy, "{kind}/{algo} hierarchy");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_backend_materializes_small_spaces() {
+        let g = test_graphs::nested_cores();
+        let vs = VertexSpace::new(&g);
+        assert!(Backend::Auto.materialize(&vs));
+        assert!(!Backend::Lazy.materialize(&vs));
+        assert!(Backend::Materialized.materialize(&vs));
+        assert_eq!(format!("{}", Backend::Auto), "auto");
+        assert_eq!(Backend::default(), Backend::Auto);
+    }
+
+    #[test]
+    fn hypo_baseline_backends_agree_on_components() {
+        let g = test_graphs::nested_cores();
+        for kind in Kind::all() {
+            let (_, lazy) = hypo_baseline_with(
+                &g,
+                kind,
+                DecomposeOptions {
+                    backend: Backend::Lazy,
+                    threads: 1,
+                },
+            );
+            let (_, mat) = hypo_baseline_with(
+                &g,
+                kind,
+                DecomposeOptions {
+                    backend: Backend::Materialized,
+                    threads: 3,
+                },
+            );
+            assert_eq!(lazy, mat, "{kind}");
         }
     }
 

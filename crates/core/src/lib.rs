@@ -14,7 +14,7 @@
 //! |--------|------|---------|
 //! | K_r | *cell* | r-clique being peeled (vertex / edge / triangle) |
 //! | K_s | *container* | s-clique providing the degree (edge / triangle / K4) |
-//! | ω_s(u) | [`space::PeelSpace::degrees`] | number of containers of cell u |
+//! | ω_s(u) | [`space::PeelBackend::degrees`] | number of containers of cell u |
 //! | λ_s(u) | [`peel::Peeling::lambda`] | max k with u in a k-(r,s) nucleus |
 //! | k-(r,s) nucleus | [`hierarchy::HierarchyNode`] subtree | maximal, K_s-connected, min ω ≥ k |
 //! | T_{r,s} | sub-nucleus | maximal strongly-connected equal-λ cell set |
@@ -54,7 +54,10 @@ pub mod weighted;
 #[cfg(test)]
 pub(crate) mod test_graphs;
 
-pub use decompose::{decompose, hypo_baseline, Algorithm, Decomposition, Kind, PhaseTimes};
+pub use decompose::{
+    decompose, decompose_with, hypo_baseline, hypo_baseline_with, Algorithm, Backend,
+    DecomposeOptions, Decomposition, Kind, PhaseTimes,
+};
 pub use error::CoreError;
 pub use hierarchy::{Hierarchy, HierarchyNode};
 pub use peel::{peel, Peeling};
@@ -66,7 +69,8 @@ pub mod prelude {
     pub use crate::algo::tcp::{tcp_query, TcpIndex};
     pub use crate::analytics::{skeleton_profile, SkeletonProfile};
     pub use crate::decompose::{
-        decompose, hypo_baseline, Algorithm, Decomposition, Kind, PhaseTimes,
+        decompose, decompose_with, hypo_baseline, hypo_baseline_with, Algorithm, Backend,
+        DecomposeOptions, Decomposition, Kind, PhaseTimes,
     };
     pub use crate::export::{extract_nucleus, hierarchy_to_dot, ExtractedSubgraph};
     pub use crate::hierarchy::{Hierarchy, HierarchyNode};
@@ -74,7 +78,8 @@ pub mod prelude {
     pub use crate::peel::{peel, Peeling};
     pub use crate::report::{describe, nucleus_vertices, render_tree, summarize_nucleus};
     pub use crate::space::{
-        EdgeK4Space, EdgeSpace, PeelSpace, TriangleSpace, VertexSpace, VertexTriangleSpace,
+        ContainerIndex, EdgeK4Space, EdgeSpace, MaterializedSpace, PeelBackend, PeelSpace,
+        TriangleSpace, VertexSpace, VertexTriangleSpace,
     };
     pub use crate::weighted::{weighted_core_decomposition, weighted_core_numbers};
 }

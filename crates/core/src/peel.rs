@@ -2,7 +2,7 @@
 
 use nucleus_graph::bucket::PeelBuckets;
 
-use crate::space::PeelSpace;
+use crate::space::PeelBackend;
 
 /// Output of the peeling phase: the λ_s value of every cell plus the
 /// processing order (non-decreasing in λ — the property both DFT and FND
@@ -56,7 +56,7 @@ impl Peeling {
 /// assert_eq!(truss.max_lambda, 1);
 /// assert_eq!(truss.lambda_of(g.edge_id(2, 3).unwrap()), 0);
 /// ```
-pub fn peel<S: PeelSpace>(space: &S) -> Peeling {
+pub fn peel<B: PeelBackend>(space: &B) -> Peeling {
     let n = space.cell_count();
     let mut q = PeelBuckets::new(space.degrees());
     let mut lambda = vec![0u32; n];
@@ -90,7 +90,7 @@ pub fn peel<S: PeelSpace>(space: &S) -> Peeling {
 /// definition — repeatedly delete all cells with ω < k from the highest
 /// k downward. Exponentially clearer, polynomially slower; used by the
 /// property tests to pin down [`peel`].
-pub fn peel_reference<S: PeelSpace>(space: &S) -> Vec<u32> {
+pub fn peel_reference<B: PeelBackend>(space: &B) -> Vec<u32> {
     let n = space.cell_count();
     let mut lambda = vec![0u32; n];
     let mut alive = vec![true; n];

@@ -109,9 +109,10 @@ pub fn render_tree(h: &Hierarchy, max_depth: usize, max_children: usize) -> Stri
 /// One-line description of a finished decomposition (for examples/CLI).
 pub fn describe(d: &Decomposition) -> String {
     format!(
-        "{} {} | {} cells, {} nuclei, max λ = {}, depth {} | peel {:?} + post {:?}",
+        "{} {} [{}] | {} cells, {} nuclei, max λ = {}, depth {} | peel {:?} + post {:?}",
         d.kind,
         d.algorithm,
+        d.backend,
         d.peeling.cell_count(),
         d.hierarchy.nucleus_count(),
         d.hierarchy.max_lambda(),

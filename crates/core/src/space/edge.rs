@@ -4,7 +4,7 @@
 use nucleus_cliques::triangles::edge_supports;
 use nucleus_graph::CsrGraph;
 
-use super::PeelSpace;
+use super::{PeelBackend, PeelSpace};
 
 /// The triangle peeling space over a graph: `ω₃(e)` = number of
 /// triangles through edge `e`. Containers of `e = {u, v}` are found by
@@ -32,15 +32,7 @@ impl<'g> EdgeSpace<'g> {
     }
 }
 
-impl PeelSpace for EdgeSpace<'_> {
-    fn r(&self) -> u32 {
-        2
-    }
-
-    fn s(&self) -> u32 {
-        3
-    }
-
+impl PeelBackend for EdgeSpace<'_> {
     fn cell_count(&self) -> usize {
         self.g.m()
     }
@@ -68,6 +60,16 @@ impl PeelSpace for EdgeSpace<'_> {
                 }
             }
         }
+    }
+}
+
+impl PeelSpace for EdgeSpace<'_> {
+    fn r(&self) -> u32 {
+        2
+    }
+
+    fn s(&self) -> u32 {
+        3
     }
 
     fn cell_vertices(&self, cell: u32, out: &mut Vec<u32>) {

@@ -8,7 +8,7 @@
 use nucleus_cliques::{TriangleIndex, TriangleList};
 use nucleus_graph::CsrGraph;
 
-use super::PeelSpace;
+use super::{PeelBackend, PeelSpace};
 
 /// The (2,4) peeling space: `ω₄(e)` = number of K4s containing edge `e`.
 ///
@@ -62,15 +62,7 @@ fn for_each_k4_of_edge<F: FnMut([u32; 5])>(g: &CsrGraph, index: &TriangleIndex, 
     }
 }
 
-impl PeelSpace for EdgeK4Space<'_> {
-    fn r(&self) -> u32 {
-        2
-    }
-
-    fn s(&self) -> u32 {
-        4
-    }
-
+impl PeelBackend for EdgeK4Space<'_> {
     fn cell_count(&self) -> usize {
         self.g.m()
     }
@@ -82,6 +74,16 @@ impl PeelSpace for EdgeK4Space<'_> {
     #[inline]
     fn for_each_container<F: FnMut(&[u32])>(&self, cell: u32, mut f: F) {
         for_each_k4_of_edge(self.g, &self.index, cell, |others| f(&others));
+    }
+}
+
+impl PeelSpace for EdgeK4Space<'_> {
+    fn r(&self) -> u32 {
+        2
+    }
+
+    fn s(&self) -> u32 {
+        4
     }
 
     fn cell_vertices(&self, cell: u32, out: &mut Vec<u32>) {

@@ -1,0 +1,326 @@
+//! The materialized peeling backend: container incidence flattened into
+//! one CSR, built once per space, in parallel.
+//!
+//! Every lazy space answers [`PeelBackend::for_each_container`] by
+//! re-running a sorted-list intersection — work that peeling repeats for
+//! a cell each time one of its containers dies. [`ContainerIndex`]
+//! performs that enumeration exactly once per cell, storing each
+//! container as a fixed-width record of co-cell ids in a
+//! [`FlatRecords`] buffer; [`MaterializedSpace`] then serves the whole
+//! [`PeelSpace`] interface from the flat index, so `peel`, `dft`,
+//! `fnd`, `naive`, `hypo_sweep` and `check_semantics` monomorphize over
+//! it unchanged.
+
+use nucleus_cliques::{balanced_ranges, fill_ranges_scoped};
+use nucleus_graph::flat::{offsets_from_counts, FlatRecords};
+
+use super::{PeelBackend, PeelSpace};
+
+/// `C(s, r) - 1`: co-cells per container record for an (r, s) space.
+///
+/// ```
+/// use nucleus_core::space::materialized::record_arity;
+/// assert_eq!(record_arity(1, 2), 1); // k-core: the neighbor
+/// assert_eq!(record_arity(2, 3), 2); // truss: two companion edges
+/// assert_eq!(record_arity(3, 4), 3); // (3,4): three companion triangles
+/// assert_eq!(record_arity(2, 4), 5); // (2,4): five companion edges
+/// ```
+pub fn record_arity(r: u32, s: u32) -> usize {
+    assert!(r < s, "need r < s, got ({r},{s})");
+    // C(s, r) with small operands; overflow-free for the s <= 4 spaces
+    // here and anything remotely peelable.
+    let mut binom = 1u64;
+    for i in 0..r as u64 {
+        binom = binom * (s as u64 - i) / (i + 1);
+    }
+    binom as usize - 1
+}
+
+/// Flat CSR of container records: for each cell, one record per
+/// container, each record holding the co-cell ids in the lazy backend's
+/// enumeration order.
+#[derive(Clone, Debug)]
+pub struct ContainerIndex {
+    flat: FlatRecords,
+}
+
+impl ContainerIndex {
+    /// Builds the index from a lazy space using up to `threads` worker
+    /// threads. ω degrees give exact record counts, so the buffer is
+    /// allocated once and each worker fills a disjoint slice (ranges
+    /// balanced by per-cell container count; no locks, no atomics).
+    pub fn build<S: PeelSpace + Sync>(space: &S, threads: usize) -> Self {
+        Self::build_with_counts(space, space.degrees(), threads)
+    }
+
+    /// [`ContainerIndex::build`] with the ω degrees already in hand
+    /// (callers that computed them for the `Auto` size estimate avoid a
+    /// second full clone). `counts` must be `space.degrees()`.
+    pub fn build_with_counts<S: PeelSpace + Sync>(
+        space: &S,
+        counts: Vec<u32>,
+        threads: usize,
+    ) -> Self {
+        let n = space.cell_count();
+        debug_assert_eq!(counts.len(), n, "counts must cover every cell");
+        let arity = record_arity(space.r(), space.s());
+        let offsets = offsets_from_counts(&counts);
+        let mut data = vec![0u32; offsets[n] * arity];
+        let weights: Vec<usize> = counts.iter().map(|&c| c as usize + 1).collect();
+        let ranges = balanced_ranges(&weights, threads.max(1));
+        fill_ranges_scoped(
+            &mut data,
+            ranges,
+            |range| (offsets[range.end] - offsets[range.start]) * arity,
+            |range, chunk| {
+                let mut pos = 0usize;
+                for cell in range {
+                    space.for_each_container(cell as u32, |others| {
+                        debug_assert_eq!(others.len(), arity, "record arity");
+                        chunk[pos..pos + arity].copy_from_slice(others);
+                        pos += arity;
+                    });
+                }
+                // Hard assert: a space whose degrees() overstates its
+                // enumeration would otherwise leave zero-filled records
+                // (co-cell id 0) and corrupt results silently in
+                // release builds. O(1) per worker range.
+                assert_eq!(pos, chunk.len(), "degrees must match enumeration");
+            },
+        );
+        ContainerIndex {
+            flat: FlatRecords::from_parts(offsets, data, arity),
+        }
+    }
+
+    /// Number of cells indexed.
+    pub fn cell_count(&self) -> usize {
+        self.flat.cells()
+    }
+
+    /// Co-cells per record (`C(s,r) - 1`).
+    pub fn arity(&self) -> usize {
+        self.flat.arity()
+    }
+
+    /// Total container records (Σ ω over all cells).
+    pub fn container_count(&self) -> usize {
+        self.flat.record_count()
+    }
+
+    /// ω of one cell, read off the offsets.
+    #[inline]
+    pub fn degree(&self, cell: u32) -> u32 {
+        self.flat.count(cell)
+    }
+
+    /// ω of every cell (reconstructed from the offsets).
+    pub fn counts(&self) -> Vec<u32> {
+        self.flat.counts()
+    }
+
+    /// Heap footprint of the index in bytes.
+    pub fn bytes(&self) -> usize {
+        self.flat.bytes()
+    }
+
+    /// Estimated index footprint for a space **without building it**:
+    /// record storage plus the offset array. Drives the `Auto` backend
+    /// heuristic in [`crate::decompose::Backend`].
+    pub fn estimate_bytes<S: PeelSpace>(space: &S) -> usize {
+        Self::estimate_bytes_from(space.r(), space.s(), &space.degrees())
+    }
+
+    /// [`ContainerIndex::estimate_bytes`] from already-computed ω
+    /// degrees, sparing the `degrees()` clone.
+    pub fn estimate_bytes_from(r: u32, s: u32, counts: &[u32]) -> usize {
+        let arity = record_arity(r, s);
+        let records: usize = counts.iter().map(|&d| d as usize).sum();
+        records * arity * std::mem::size_of::<u32>()
+            + (counts.len() + 1) * std::mem::size_of::<usize>()
+    }
+
+    /// Serves one cell's containers from the flat buffer.
+    #[inline]
+    pub fn for_each_container<F: FnMut(&[u32])>(&self, cell: u32, mut f: F) {
+        for rec in self.flat.records_of(cell) {
+            f(rec);
+        }
+    }
+}
+
+/// A [`PeelSpace`] whose container enumeration is served from a
+/// [`ContainerIndex`] instead of recomputed — the *materialized*
+/// backend. Identity queries (`r`, `s`, `cell_vertices`) delegate to
+/// the wrapped lazy space.
+pub struct MaterializedSpace<'s, S> {
+    inner: &'s S,
+    index: ContainerIndex,
+}
+
+impl<'s, S: PeelSpace + Sync> MaterializedSpace<'s, S> {
+    /// Materializes `inner` using all available CPUs.
+    pub fn new(inner: &'s S) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        Self::with_threads(inner, threads)
+    }
+
+    /// Materializes `inner` with an explicit build thread count.
+    pub fn with_threads(inner: &'s S, threads: usize) -> Self {
+        MaterializedSpace {
+            index: ContainerIndex::build(inner, threads),
+            inner,
+        }
+    }
+
+    /// Materializes `inner` reusing already-computed ω degrees
+    /// (`counts` must be `inner.degrees()`).
+    pub fn with_counts(inner: &'s S, counts: Vec<u32>, threads: usize) -> Self {
+        MaterializedSpace {
+            index: ContainerIndex::build_with_counts(inner, counts, threads),
+            inner,
+        }
+    }
+}
+
+impl<'s, S> MaterializedSpace<'s, S> {
+    /// The wrapped lazy space.
+    pub fn inner(&self) -> &'s S {
+        self.inner
+    }
+
+    /// The flat index backing this space.
+    pub fn index(&self) -> &ContainerIndex {
+        &self.index
+    }
+}
+
+impl<S: PeelSpace> PeelBackend for MaterializedSpace<'_, S> {
+    fn cell_count(&self) -> usize {
+        self.index.cell_count()
+    }
+
+    fn degrees(&self) -> Vec<u32> {
+        self.index.counts()
+    }
+
+    #[inline]
+    fn for_each_container<F: FnMut(&[u32])>(&self, cell: u32, f: F) {
+        self.index.for_each_container(cell, f);
+    }
+}
+
+impl<S: PeelSpace> PeelSpace for MaterializedSpace<'_, S> {
+    fn r(&self) -> u32 {
+        self.inner.r()
+    }
+
+    fn s(&self) -> u32 {
+        self.inner.s()
+    }
+
+    fn cell_vertices(&self, cell: u32, out: &mut Vec<u32>) {
+        self.inner.cell_vertices(cell, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{EdgeK4Space, EdgeSpace, TriangleSpace, VertexSpace, VertexTriangleSpace};
+    use nucleus_graph::CsrGraph;
+
+    fn complete(n: u32) -> CsrGraph {
+        let mut edges = vec![];
+        for u in 0..n {
+            for v in u + 1..n {
+                edges.push((u, v));
+            }
+        }
+        CsrGraph::from_edges(n as usize, &edges)
+    }
+
+    /// Records served by the index must match the lazy enumeration
+    /// exactly — same containers, same order.
+    fn check_mirrors_lazy<S: PeelSpace + Sync>(space: &S) {
+        for threads in [1, 4] {
+            let m = MaterializedSpace::with_threads(space, threads);
+            assert_eq!(m.cell_count(), space.cell_count());
+            assert_eq!(m.degrees(), space.degrees());
+            assert_eq!(m.r(), space.r());
+            assert_eq!(m.s(), space.s());
+            assert_eq!(m.name(), space.name());
+            for cell in 0..space.cell_count() as u32 {
+                let mut lazy: Vec<Vec<u32>> = vec![];
+                space.for_each_container(cell, |o| lazy.push(o.to_vec()));
+                let mut mat: Vec<Vec<u32>> = vec![];
+                m.for_each_container(cell, |o| mat.push(o.to_vec()));
+                assert_eq!(lazy, mat, "cell {cell}");
+                let mut a = vec![];
+                let mut b = vec![];
+                space.cell_vertices(cell, &mut a);
+                m.cell_vertices(cell, &mut b);
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn mirrors_all_five_spaces() {
+        let g = nucleus_gen::karate::karate_club();
+        check_mirrors_lazy(&VertexSpace::new(&g));
+        check_mirrors_lazy(&EdgeSpace::new(&g));
+        check_mirrors_lazy(&TriangleSpace::new(&g));
+        check_mirrors_lazy(&VertexTriangleSpace::new(&g));
+        check_mirrors_lazy(&EdgeK4Space::new(&g));
+    }
+
+    #[test]
+    fn index_shape_on_k5() {
+        let g = complete(5);
+        let es = EdgeSpace::new(&g);
+        let idx = ContainerIndex::build(&es, 2);
+        assert_eq!(idx.cell_count(), 10);
+        assert_eq!(idx.arity(), 2);
+        // each of the 10 edges lies in 3 triangles
+        assert_eq!(idx.container_count(), 30);
+        assert!(idx.bytes() > 0);
+        assert_eq!(ContainerIndex::estimate_bytes(&es), idx.bytes());
+    }
+
+    #[test]
+    fn record_arity_table() {
+        assert_eq!(record_arity(1, 2), 1);
+        assert_eq!(record_arity(1, 3), 2);
+        assert_eq!(record_arity(2, 3), 2);
+        assert_eq!(record_arity(3, 4), 3);
+        assert_eq!(record_arity(2, 4), 5);
+    }
+
+    #[test]
+    fn empty_graph_and_containerless_cells() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        // the 4-cycle is triangle-free: every edge has zero containers
+        let es = EdgeSpace::new(&g);
+        let m = MaterializedSpace::new(&es);
+        assert_eq!(m.degrees(), vec![0; 4]);
+        let mut called = false;
+        m.for_each_container(0, |_| called = true);
+        assert!(!called);
+
+        let g = CsrGraph::from_edges(0, &[]);
+        let vs = VertexSpace::new(&g);
+        let m = MaterializedSpace::new(&vs);
+        assert_eq!(m.cell_count(), 0);
+    }
+
+    #[test]
+    fn peeling_through_materialized_backend() {
+        let g = complete(6);
+        let ts = TriangleSpace::new(&g);
+        let m = MaterializedSpace::new(&ts);
+        let p = crate::peel::peel(&m);
+        assert!(p.lambda.iter().all(|&l| l == 3));
+        assert_eq!(p.lambda, crate::peel::peel(&ts).lambda);
+    }
+}

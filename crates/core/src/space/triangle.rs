@@ -2,10 +2,10 @@
 //! k-(3,4) nucleus, the paper's densest/most-detailed decomposition.
 
 use nucleus_cliques::four_cliques::k4_degrees;
-use nucleus_cliques::{TriangleIndex, TriangleList};
+use nucleus_cliques::{k4_degrees_parallel, TriangleIndex, TriangleList};
 use nucleus_graph::CsrGraph;
 
-use super::PeelSpace;
+use super::{PeelBackend, PeelSpace};
 
 /// The four-clique peeling space: `ω₄(t)` = number of K4s containing
 /// triangle `t`. Containers of `t = {u, v, w}` are apex vertices `x`
@@ -22,9 +22,21 @@ impl<'g> TriangleSpace<'g> {
     /// Builds the space: enumerates triangles, indexes them per edge, and
     /// counts K4 degrees (the "enumerate K_r's + set ω" part of Alg. 1).
     pub fn new(g: &'g CsrGraph) -> Self {
+        Self::build(g, k4_degrees)
+    }
+
+    /// Builds the space like [`TriangleSpace::new`], but counts K4
+    /// degrees with `threads` worker threads (the same knob as
+    /// [`nucleus_cliques::parallel::triangle_count_parallel`]) — the ω
+    /// computation dominates space construction on dense graphs.
+    pub fn with_threads(g: &'g CsrGraph, threads: usize) -> Self {
+        Self::build(g, |g, tris| k4_degrees_parallel(g, tris, threads))
+    }
+
+    fn build(g: &'g CsrGraph, k4: impl FnOnce(&CsrGraph, &TriangleList) -> Vec<u32>) -> Self {
         let tris = TriangleList::build(g);
         let index = TriangleIndex::build(g, &tris);
-        let k4deg = k4_degrees(g, &tris);
+        let k4deg = k4(g, &tris);
         TriangleSpace {
             g,
             tris,
@@ -49,15 +61,7 @@ impl<'g> TriangleSpace<'g> {
     }
 }
 
-impl PeelSpace for TriangleSpace<'_> {
-    fn r(&self) -> u32 {
-        3
-    }
-
-    fn s(&self) -> u32 {
-        4
-    }
-
+impl PeelBackend for TriangleSpace<'_> {
     fn cell_count(&self) -> usize {
         self.tris.len()
     }
@@ -91,6 +95,16 @@ impl PeelSpace for TriangleSpace<'_> {
                 }
             }
         }
+    }
+}
+
+impl PeelSpace for TriangleSpace<'_> {
+    fn r(&self) -> u32 {
+        3
+    }
+
+    fn s(&self) -> u32 {
+        4
     }
 
     fn cell_vertices(&self, cell: u32, out: &mut Vec<u32>) {

@@ -2,7 +2,7 @@
 
 use nucleus_graph::CsrGraph;
 
-use super::PeelSpace;
+use super::{PeelBackend, PeelSpace};
 
 /// The k-core peeling space over a graph: `ω₂(v) = deg(v)`.
 pub struct VertexSpace<'g> {
@@ -21,15 +21,7 @@ impl<'g> VertexSpace<'g> {
     }
 }
 
-impl PeelSpace for VertexSpace<'_> {
-    fn r(&self) -> u32 {
-        1
-    }
-
-    fn s(&self) -> u32 {
-        2
-    }
-
+impl PeelBackend for VertexSpace<'_> {
     fn cell_count(&self) -> usize {
         self.g.n()
     }
@@ -45,6 +37,16 @@ impl PeelSpace for VertexSpace<'_> {
         for &w in self.g.neighbors(cell) {
             f(std::slice::from_ref(&w));
         }
+    }
+}
+
+impl PeelSpace for VertexSpace<'_> {
+    fn r(&self) -> u32 {
+        1
+    }
+
+    fn s(&self) -> u32 {
+        2
     }
 
     fn cell_vertices(&self, cell: u32, out: &mut Vec<u32>) {

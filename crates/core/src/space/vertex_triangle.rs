@@ -9,7 +9,7 @@
 
 use nucleus_graph::CsrGraph;
 
-use super::PeelSpace;
+use super::{PeelBackend, PeelSpace};
 
 /// The (1,3) peeling space: `ω₃(v)` = number of triangles containing `v`.
 pub struct VertexTriangleSpace<'g> {
@@ -35,15 +35,7 @@ impl<'g> VertexTriangleSpace<'g> {
     }
 }
 
-impl PeelSpace for VertexTriangleSpace<'_> {
-    fn r(&self) -> u32 {
-        1
-    }
-
-    fn s(&self) -> u32 {
-        3
-    }
-
+impl PeelBackend for VertexTriangleSpace<'_> {
     fn cell_count(&self) -> usize {
         self.g.n()
     }
@@ -74,6 +66,16 @@ impl PeelSpace for VertexTriangleSpace<'_> {
                 }
             }
         }
+    }
+}
+
+impl PeelSpace for VertexTriangleSpace<'_> {
+    fn r(&self) -> u32 {
+        1
+    }
+
+    fn s(&self) -> u32 {
+        3
     }
 
     fn cell_vertices(&self, cell: u32, out: &mut Vec<u32>) {

@@ -3,13 +3,14 @@
 //! Quadratic-ish; intended for tests and property checks on small graphs.
 
 use crate::hierarchy::Hierarchy;
-use crate::space::PeelSpace;
+use crate::space::PeelBackend;
 
 /// Verifies that every node of `h` is exactly one k-(r,s) nucleus of the
 /// space: the subtree cell set equals the BFS closure of its cells over
 /// containers with λ_{r,s} ≥ k (connectivity **and** maximality), and the
-/// minimum λ inside equals k.
-pub fn check_semantics<S: PeelSpace>(space: &S, h: &Hierarchy) -> Result<(), String> {
+/// minimum λ inside equals k. Generic over the backend, so materialized
+/// spaces are validated through the same code path.
+pub fn check_semantics<B: PeelBackend>(space: &B, h: &Hierarchy) -> Result<(), String> {
     let lambda = h.lambdas();
     for id in 1..h.len() as u32 {
         let node = h.node(id);

@@ -10,7 +10,10 @@ use nucleus_core::algo::lcps::lcps;
 use nucleus_core::algo::naive::naive;
 use nucleus_core::algo::tcp::{tcp_query, TcpIndex};
 use nucleus_core::peel::{peel, peel_reference};
-use nucleus_core::space::{EdgeSpace, PeelSpace, TriangleSpace, VertexSpace};
+use nucleus_core::space::{
+    EdgeK4Space, EdgeSpace, MaterializedSpace, PeelBackend, PeelSpace, TriangleSpace, VertexSpace,
+    VertexTriangleSpace,
+};
 use nucleus_core::validate::check_semantics;
 use nucleus_graph::CsrGraph;
 
@@ -38,8 +41,52 @@ fn check_space_agreement<S: PeelSpace>(space: &S) {
     check_semantics(space, &h_dft).expect("semantic");
 }
 
+/// Pins the materialized backend to the lazy one: identical ω degrees,
+/// identical peeling (λ **and** processing order — the flat index must
+/// replay the lazy enumeration order exactly), and identical FND
+/// hierarchies, for any space.
+fn check_backend_equivalence<S: PeelSpace + Sync>(space: &S) {
+    for threads in [1, 3] {
+        let mat = MaterializedSpace::with_threads(space, threads);
+        assert_eq!(space.degrees(), mat.degrees(), "ω degrees");
+        let lazy_peel = peel(space);
+        let mat_peel = peel(&mat);
+        assert_eq!(lazy_peel.lambda, mat_peel.lambda, "λ");
+        assert_eq!(lazy_peel.order, mat_peel.order, "peeling order");
+        let lazy_fnd = fnd(space);
+        let mat_fnd = fnd(&mat);
+        assert_eq!(lazy_fnd.hierarchy, mat_fnd.hierarchy, "FND hierarchy");
+        check_semantics(&mat, &mat_fnd.hierarchy).expect("materialized semantics");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn backend_equivalence_core(g in graph_strategy(24, 80)) {
+        check_backend_equivalence(&VertexSpace::new(&g));
+    }
+
+    #[test]
+    fn backend_equivalence_truss(g in graph_strategy(16, 60)) {
+        check_backend_equivalence(&EdgeSpace::new(&g));
+    }
+
+    #[test]
+    fn backend_equivalence_nucleus34(g in graph_strategy(12, 50)) {
+        check_backend_equivalence(&TriangleSpace::new(&g));
+    }
+
+    #[test]
+    fn backend_equivalence_vertex_triangle(g in graph_strategy(14, 50)) {
+        check_backend_equivalence(&VertexTriangleSpace::new(&g));
+    }
+
+    #[test]
+    fn backend_equivalence_edge_k4(g in graph_strategy(10, 40)) {
+        check_backend_equivalence(&EdgeK4Space::new(&g));
+    }
 
     #[test]
     fn algorithms_agree_on_core(g in graph_strategy(24, 80)) {

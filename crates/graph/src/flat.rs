@@ -1,0 +1,179 @@
+//! Fixed-arity flat record storage: a CSR layout without graph
+//! semantics.
+//!
+//! [`FlatRecords`] maps each *cell* (a dense `u32` id) to a run of
+//! fixed-width `u32` records, all stored in one contiguous buffer. It is
+//! the storage layer of the materialized peeling backend in
+//! `nucleus-core` (each record holds the co-cell ids of one container),
+//! but it is deliberately generic: any "cell → small fixed-width tuples"
+//! mapping fits.
+//!
+//! Offsets are kept in *record* units; the data index of cell `c`'s
+//! `j`-th record is `(offsets[c] + j) * arity`.
+
+/// Exclusive prefix sum of `counts`, in record units: `out[c]` is the
+/// first record index of cell `c` and `out[counts.len()]` the total.
+pub fn offsets_from_counts(counts: &[u32]) -> Vec<usize> {
+    let mut offsets = vec![0usize; counts.len() + 1];
+    for (i, &c) in counts.iter().enumerate() {
+        offsets[i + 1] = offsets[i] + c as usize;
+    }
+    offsets
+}
+
+/// Immutable fixed-arity record store in CSR form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlatRecords {
+    arity: usize,
+    /// Per-cell record offsets (record units, length `cells + 1`).
+    offsets: Vec<usize>,
+    /// All records back to back: `record_count() * arity` words.
+    data: Vec<u32>,
+}
+
+impl FlatRecords {
+    /// Assembles a store from raw parts. `offsets` must be a valid
+    /// prefix-sum array (see [`offsets_from_counts`]) and `data` must
+    /// hold exactly `offsets.last() * arity` words.
+    ///
+    /// # Panics
+    /// If the invariants above do not hold (`arity` of zero, empty or
+    /// non-monotone offsets, or a mis-sized data buffer).
+    pub fn from_parts(offsets: Vec<usize>, data: Vec<u32>, arity: usize) -> Self {
+        assert!(arity > 0, "arity must be positive");
+        assert!(!offsets.is_empty(), "offsets needs a leading 0 entry");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets monotone");
+        assert_eq!(
+            data.len(),
+            offsets[offsets.len() - 1] * arity,
+            "data length must be record_count * arity"
+        );
+        FlatRecords {
+            arity,
+            offsets,
+            data,
+        }
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Words per record.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Total number of records across all cells.
+    pub fn record_count(&self) -> usize {
+        self.offsets[self.offsets.len() - 1]
+    }
+
+    /// `true` when no cell has any record.
+    pub fn is_empty(&self) -> bool {
+        self.record_count() == 0
+    }
+
+    /// Number of records of `cell`.
+    #[inline]
+    pub fn count(&self, cell: u32) -> u32 {
+        (self.offsets[cell as usize + 1] - self.offsets[cell as usize]) as u32
+    }
+
+    /// Per-cell record counts (the inverse of [`offsets_from_counts`]).
+    pub fn counts(&self) -> Vec<u32> {
+        (0..self.cells() as u32).map(|c| self.count(c)).collect()
+    }
+
+    /// All records of `cell` as one flat slice of
+    /// `count(cell) * arity` words.
+    #[inline]
+    pub fn slice_of(&self, cell: u32) -> &[u32] {
+        let lo = self.offsets[cell as usize] * self.arity;
+        let hi = self.offsets[cell as usize + 1] * self.arity;
+        &self.data[lo..hi]
+    }
+
+    /// Iterates the records of `cell`, one `arity`-sized slice each.
+    #[inline]
+    pub fn records_of(&self, cell: u32) -> impl Iterator<Item = &[u32]> {
+        self.slice_of(cell).chunks_exact(self.arity)
+    }
+
+    /// Heap footprint of the store in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u32>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FlatRecords {
+        // 3 cells with 2, 0, 1 records of arity 2
+        let offsets = offsets_from_counts(&[2, 0, 1]);
+        FlatRecords::from_parts(offsets, vec![10, 11, 20, 21, 30, 31], 2)
+    }
+
+    #[test]
+    fn offsets_prefix_sum() {
+        assert_eq!(offsets_from_counts(&[2, 0, 1]), vec![0, 2, 2, 3]);
+        assert_eq!(offsets_from_counts(&[]), vec![0]);
+    }
+
+    #[test]
+    fn shape_and_counts() {
+        let f = sample();
+        assert_eq!(f.cells(), 3);
+        assert_eq!(f.arity(), 2);
+        assert_eq!(f.record_count(), 3);
+        assert!(!f.is_empty());
+        assert_eq!(f.count(0), 2);
+        assert_eq!(f.count(1), 0);
+        assert_eq!(f.count(2), 1);
+        assert_eq!(f.counts(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn record_access() {
+        let f = sample();
+        assert_eq!(f.slice_of(0), &[10, 11, 20, 21]);
+        assert_eq!(f.slice_of(1), &[] as &[u32]);
+        let recs: Vec<&[u32]> = f.records_of(0).collect();
+        assert_eq!(recs, vec![&[10, 11][..], &[20, 21][..]]);
+        assert_eq!(f.records_of(2).next(), Some(&[30, 31][..]));
+    }
+
+    #[test]
+    fn bytes_counts_both_buffers() {
+        let f = sample();
+        assert_eq!(
+            f.bytes(),
+            6 * std::mem::size_of::<u32>() + 4 * std::mem::size_of::<usize>()
+        );
+    }
+
+    #[test]
+    fn empty_store() {
+        let f = FlatRecords::from_parts(vec![0], vec![], 3);
+        assert_eq!(f.cells(), 0);
+        assert!(f.is_empty());
+        assert_eq!(f.counts(), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn zero_arity_rejected() {
+        FlatRecords::from_parts(vec![0], vec![], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn mis_sized_data_rejected() {
+        FlatRecords::from_parts(vec![0, 1], vec![1, 2, 3], 2);
+    }
+}

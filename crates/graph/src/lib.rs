@@ -13,6 +13,8 @@
 //! * [`bucket`] — the two bucket-queue variants used by the paper:
 //!   the Batagelj–Zaversnik min-bucket layout for peeling and a
 //!   max-bucket cursor queue for the LCPS traversal;
+//! * [`flat`] — fixed-arity flat record storage (CSR without graph
+//!   semantics), the layout behind the materialized peeling backend;
 //! * [`traversal`] — BFS and connected components;
 //! * [`order`] — degree and degeneracy orderings;
 //! * [`io`] — whitespace edge-list text format and a fast binary format.
@@ -25,6 +27,7 @@ pub mod bucket;
 pub mod builder;
 pub mod csr;
 pub mod error;
+pub mod flat;
 pub mod io;
 pub mod metrics;
 pub mod order;
@@ -33,3 +36,4 @@ pub mod traversal;
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeId, VertexId};
 pub use error::GraphError;
+pub use flat::FlatRecords;

@@ -12,8 +12,19 @@
 //! whichever comes first — and the median, minimum and maximum
 //! per-sample times are printed. Harness flags cargo passes to
 //! `harness = false` targets (`--bench`, `--test`, filters) are
-//! accepted and ignored.
+//! accepted; all but `--bench` are ignored.
+//!
+//! # Machine-readable results
+//!
+//! When running as an actual benchmark (cargo passes `--bench` to the
+//! target), every finished group additionally writes
+//! `results/BENCH_<group>.json` under the workspace root (the nearest
+//! ancestor directory containing a `Cargo.lock`; override with the
+//! `NUCLEUS_BENCH_RESULTS` env var): one entry per benchmark with
+//! median/min/max nanoseconds and the sample count, so the perf
+//! trajectory can be tracked across PRs without scraping stdout.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Benchmark registry; handed to every `criterion_group!` function.
@@ -41,18 +52,24 @@ impl Criterion {
             sample_size,
             measurement_time: Duration::from_secs(3),
             warm_up_time: Duration::from_millis(300),
+            records: Vec::new(),
         }
     }
 
     /// Benchmarks a closure outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
-        run_one(
-            &id.into(),
+        let id = id.into();
+        if let Some(record) = run_one(
+            &id,
             self.default_sample_size,
             Duration::from_secs(3),
             Duration::from_millis(300),
             &mut f,
-        );
+        ) {
+            // A groupless benchmark gets a single-entry group file
+            // named after itself.
+            maybe_write_group_json(&id, &[record]);
+        }
     }
 }
 
@@ -63,6 +80,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    records: Vec<BenchRecord>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -87,13 +105,15 @@ impl BenchmarkGroup<'_> {
     /// Benchmarks `f` under `id` within this group.
     pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(&mut self, id: I, mut f: F) {
         let label = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_one(
+        if let Some(record) = run_one(
             &label,
             self.sample_size,
             self.measurement_time,
             self.warm_up_time,
             &mut f,
-        );
+        ) {
+            self.records.push(record);
+        }
     }
 
     /// Benchmarks `f`, passing it `input` alongside the [`Bencher`].
@@ -103,17 +123,140 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &T),
     {
         let label = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_one(
+        if let Some(record) = run_one(
             &label,
             self.sample_size,
             self.measurement_time,
             self.warm_up_time,
             &mut |b: &mut Bencher| f(b, input),
-        );
+        ) {
+            self.records.push(record);
+        }
     }
 
-    /// Ends the group (kept for API parity; nothing to flush).
+    /// Ends the group, flushing `results/BENCH_<group>.json` (kept for
+    /// API parity with criterion; dropping the group does the same).
     pub fn finish(self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        // Skip the write while unwinding: a partial record set must not
+        // clobber a complete JSON from an earlier successful run.
+        if !self.records.is_empty() && !std::thread::panicking() {
+            maybe_write_group_json(&self.name, &self.records);
+        }
+    }
+}
+
+/// One measured benchmark, in nanoseconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Full benchmark label (`group/function/parameter`).
+    pub id: String,
+    /// Median per-sample time.
+    pub median_ns: u128,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// `true` when cargo launched this process as a bench target (it passes
+/// `--bench`); unit tests and plain runs skip the JSON side effect.
+fn running_as_bench() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Directory JSON results land in: `NUCLEUS_BENCH_RESULTS` if set, else
+/// `results/` under the nearest ancestor holding a `Cargo.lock` (the
+/// workspace root — bench processes may start in the member crate),
+/// else `results/` under the current directory.
+fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("NUCLEUS_BENCH_RESULTS") {
+        return PathBuf::from(dir);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut probe = cwd.clone();
+    loop {
+        if probe.join("Cargo.lock").exists() {
+            return probe.join("results");
+        }
+        if !probe.pop() {
+            return cwd.join("results");
+        }
+    }
+}
+
+/// Group name → safe `BENCH_<name>.json` file stem.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders the group's records as JSON (hand-rolled: the shim has no
+/// dependencies, and the payload is flat strings and integers).
+fn render_json(group: &str, records: &[BenchRecord]) -> String {
+    let esc = |s: &str| {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    };
+    let mut json = String::new();
+    json.push_str(&format!("{{\n  \"group\": \"{}\",\n", esc(group)));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{}\n",
+            esc(&r.id),
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Writes `BENCH_<group>.json` into `dir`, returning the path on
+/// success.
+fn write_group_json(
+    dir: &std::path::Path,
+    group: &str,
+    records: &[BenchRecord],
+) -> Option<PathBuf> {
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("BENCH_{}.json", sanitize(group)));
+    std::fs::write(&path, render_json(group, records)).ok()?;
+    Some(path)
+}
+
+fn maybe_write_group_json(group: &str, records: &[BenchRecord]) {
+    if !running_as_bench() {
+        return;
+    }
+    match write_group_json(&results_dir(), group, records) {
+        Some(path) => println!("  results → {}", path.display()),
+        None => eprintln!("  (could not write JSON results for group {group})"),
+    }
 }
 
 /// A `function/parameter` benchmark label.
@@ -189,7 +332,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     measurement_time: Duration,
     warm_up_time: Duration,
     f: &mut F,
-) {
+) -> Option<BenchRecord> {
     let mut b = Bencher {
         samples: Vec::with_capacity(sample_size),
         sample_size,
@@ -199,7 +342,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     f(&mut b);
     if b.samples.is_empty() {
         println!("  {label:<48} (no samples: Bencher::iter never called)");
-        return;
+        return None;
     }
     b.samples.sort_unstable();
     let median = b.samples[b.samples.len() / 2];
@@ -212,6 +355,13 @@ fn run_one<F: FnMut(&mut Bencher)>(
         fmt(hi),
         b.samples.len()
     );
+    Some(BenchRecord {
+        id: label.to_string(),
+        median_ns: median.as_nanos(),
+        min_ns: lo.as_nanos(),
+        max_ns: hi.as_nanos(),
+        samples: b.samples.len(),
+    })
 }
 
 fn fmt(d: Duration) -> String {
@@ -278,5 +428,59 @@ mod tests {
         });
         group.finish();
         assert!(runs >= 5, "closure ran {runs} times");
+    }
+
+    #[test]
+    fn json_rendering_and_sanitizing() {
+        let records = vec![
+            BenchRecord {
+                id: "g/peel/(2,3)".into(),
+                median_ns: 1200,
+                min_ns: 1000,
+                max_ns: 2000,
+                samples: 10,
+            },
+            BenchRecord {
+                id: "g/\"quoted\"".into(),
+                median_ns: 5,
+                min_ns: 5,
+                max_ns: 5,
+                samples: 1,
+            },
+        ];
+        let json = render_json("my group", &records);
+        assert!(json.contains("\"group\": \"my group\""));
+        assert!(json.contains("\"median_ns\": 1200"));
+        assert!(json.contains("\\\"quoted\\\""));
+        // exactly one comma between the two entries, none trailing
+        assert_eq!(json.matches("},\n").count(), 1);
+        assert_eq!(sanitize("table5_truss"), "table5_truss");
+        assert_eq!(sanitize("backend/(2,3) er"), "backend__2_3__er");
+    }
+
+    #[test]
+    fn json_file_written_to_explicit_dir() {
+        let dir = std::env::temp_dir().join("criterion-shim-json-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let records = vec![BenchRecord {
+            id: "solo".into(),
+            median_ns: 42,
+            min_ns: 40,
+            max_ns: 44,
+            samples: 3,
+        }];
+        let path = write_group_json(&dir, "solo_group", &records).expect("written");
+        assert!(path.ends_with("BENCH_solo_group.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"median_ns\": 42"));
+        assert!(body.contains("\"samples\": 3"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_json_side_effect_outside_bench_mode() {
+        // Unit tests are not launched with --bench, so groups must not
+        // touch the filesystem when dropped.
+        assert!(!running_as_bench());
     }
 }
