@@ -1,0 +1,118 @@
+//! Serial vs frontier peeling engine, crossed with the lazy and
+//! materialized backends, on generated inputs.
+//!
+//! For each graph (Erdős–Rényi, Barabási–Albert, R-MAT) and each of the
+//! (2,3) and (3,4) spaces, five rows are measured:
+//!
+//! * `serial-lazy/…` — bucket-queue `Set-λ` over on-the-fly container
+//!   enumeration (the paper's sequential baseline);
+//! * `serial-materialized/…` — the same loop over a pre-built
+//!   [`MaterializedSpace`] (PR 2's fast path);
+//! * `frontier-lazy/…` — frontier rounds over on-the-fly enumeration
+//!   (quantifies how much the engine needs the flat index);
+//! * `frontier-materialized-t1/…` — frontier rounds over the index on
+//!   one thread: the engine's algorithmic constants, isolated from
+//!   parallelism (plain load/store decrements, no bucket maintenance);
+//! * `frontier-materialized-tN/…` — the same with N = all available
+//!   CPUs (equals t1 on a single-core host, where spawn overhead is
+//!   pure loss — the committed JSONs from the build container record
+//!   exactly that).
+//!
+//! Space construction and (for the materialized rows) the index build
+//! happen outside the timed region, so rows isolate peeling-loop cost
+//! only. JSON results land in `results/BENCH_peel_engine_*.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nucleus_core::peel::{peel, peel_parallel};
+use nucleus_core::space::{EdgeSpace, MaterializedSpace, PeelSpace, TriangleSpace};
+use nucleus_graph::CsrGraph;
+
+/// Deterministic inputs, smallest to largest (by edge count); same
+/// models as `bench_backend` so rows stay comparable across PRs.
+fn inputs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        (
+            "rmat-s11",
+            nucleus_gen::rmat::rmat(11, 8, nucleus_gen::rmat::RmatParams::skewed(), 7),
+        ),
+        ("er-n3000", nucleus_gen::er::gnp(3000, 0.01, 7)),
+        ("ba-n20000", nucleus_gen::ba::barabasi_albert(20_000, 6, 7)),
+        // sparse, wide-frontier regime: most cells peel in a handful of
+        // huge λ levels — the frontier engine's best case
+        (
+            "ba-n200000-m3",
+            nucleus_gen::ba::barabasi_albert(200_000, 3, 7),
+        ),
+    ]
+}
+
+fn bench_space<S: PeelSpace + Sync>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    space: &S,
+) {
+    // On a single-core host still bench 2 workers so the committed
+    // JSONs record the spawn path's overhead honestly.
+    let all_threads = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .max(2);
+    group.bench_with_input(BenchmarkId::new("serial-lazy", name), space, |b, s| {
+        b.iter(|| peel(s).max_lambda);
+    });
+    group.bench_with_input(BenchmarkId::new("frontier-lazy", name), space, |b, s| {
+        b.iter(|| peel_parallel(s, 1).max_lambda);
+    });
+    let mat = MaterializedSpace::new(space);
+    group.bench_with_input(
+        BenchmarkId::new("serial-materialized", name),
+        &mat,
+        |b, m| {
+            b.iter(|| peel(m).max_lambda);
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("frontier-materialized-t1", name),
+        &mat,
+        |b, m| {
+            b.iter(|| peel_parallel(m, 1).max_lambda);
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new(format!("frontier-materialized-t{all_threads}"), name),
+        &mat,
+        |b, m| {
+            b.iter(|| peel_parallel(m, all_threads).max_lambda);
+        },
+    );
+}
+
+fn bench_peel_engine_truss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peel_engine_truss");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for (name, g) in &inputs() {
+        let space = EdgeSpace::new(g);
+        bench_space(&mut group, name, &space);
+    }
+    group.finish();
+}
+
+fn bench_peel_engine_nucleus34(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peel_engine_nucleus34");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for (name, g) in &inputs() {
+        let space = TriangleSpace::new(g);
+        bench_space(&mut group, name, &space);
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_peel_engine_truss,
+    bench_peel_engine_nucleus34
+);
+criterion_main!(benches);

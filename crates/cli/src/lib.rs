@@ -75,7 +75,8 @@ USAGE:
   nucleus generate  --model <er|ba|hk|rmat|ws|planted|cliques|karate> [model flags] --out FILE
   nucleus decompose --input FILE --kind <core|truss|nucleus34>
                     [--algo <fnd|dft|naive|lcps>] [--backend <auto|lazy|materialized>]
-                    [--threads N] [--json FILE] [--dot FILE] [--depth N]
+                    [--engine <auto|serial|frontier>] [--threads N]
+                    [--json FILE] [--dot FILE] [--depth N]
   nucleus stats     --input FILE
   nucleus query     --input FILE --u U --v V --k K
 
@@ -167,6 +168,15 @@ fn parse_algo(s: &str) -> Result<Algorithm, String> {
     }
 }
 
+fn parse_engine(s: &str) -> Result<PeelEngine, String> {
+    match s {
+        "auto" => Ok(PeelEngine::Auto),
+        "serial" => Ok(PeelEngine::Serial),
+        "frontier" => Ok(PeelEngine::Frontier),
+        other => Err(format!("unknown engine {other:?} (auto|serial|frontier)")),
+    }
+}
+
 fn parse_backend(s: &str) -> Result<Backend, String> {
     match s {
         "auto" => Ok(Backend::Auto),
@@ -184,6 +194,7 @@ fn cmd_decompose<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let algo = parse_algo(args.get_or("algo", "fnd"))?;
     let options = DecomposeOptions {
         backend: parse_backend(args.get_or("backend", "auto"))?,
+        engine: parse_engine(args.get_or("engine", "auto"))?,
         threads: args.num("threads", 0usize)?,
     };
     let d = decompose_with(&g, kind, algo, options).map_err(|e| e.to_string())?;
@@ -397,6 +408,86 @@ mod tests {
             "--kind",
             "truss",
             "--backend",
+            "bogus",
+        ])
+        .is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decompose_engine_flags() {
+        let path = tmp("engine.txt");
+        run_to_string(&["generate", "--model", "karate", "--out", &path]).unwrap();
+        let serial = run_to_string(&[
+            "decompose",
+            "--input",
+            &path,
+            "--kind",
+            "truss",
+            "--algo",
+            "dft",
+            "--engine",
+            "serial",
+        ])
+        .unwrap();
+        assert!(serial.contains("[serial]"), "got: {serial}");
+        let frontier = run_to_string(&[
+            "decompose",
+            "--input",
+            &path,
+            "--kind",
+            "truss",
+            "--algo",
+            "dft",
+            "--engine",
+            "frontier",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(
+            frontier.contains("[materialized][frontier]"),
+            "got: {frontier}"
+        );
+        // identical hierarchies → identical renderings after the timing line
+        let tree = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(tree(&serial), tree(&frontier));
+        // incompatible combinations surface as CLI errors
+        let err = run_to_string(&[
+            "decompose",
+            "--input",
+            &path,
+            "--kind",
+            "truss",
+            "--algo",
+            "fnd",
+            "--engine",
+            "frontier",
+        ])
+        .unwrap_err();
+        assert!(err.contains("frontier"), "got: {err}");
+        let err = run_to_string(&[
+            "decompose",
+            "--input",
+            &path,
+            "--kind",
+            "truss",
+            "--algo",
+            "dft",
+            "--engine",
+            "frontier",
+            "--backend",
+            "lazy",
+        ])
+        .unwrap_err();
+        assert!(err.contains("materialized"), "got: {err}");
+        assert!(run_to_string(&[
+            "decompose",
+            "--input",
+            &path,
+            "--kind",
+            "truss",
+            "--engine",
             "bogus",
         ])
         .is_err());

@@ -1,6 +1,16 @@
 //! DF-Traversal (Algorithms 5 and 6 of the paper): find every
 //! sub-(r,s) nucleus in decreasing λ order with one traversal, stitching
 //! the hierarchy-skeleton with the root-augmented disjoint-set forest.
+//!
+//! The only property DFT needs from [`Peeling::order`] is
+//! **λ-monotonicity** (walking it in reverse must enumerate cells in
+//! non-increasing λ, so every deeper sub-nucleus is already wired when
+//! a shallower one reaches it). Both peeling engines guarantee exactly
+//! that — the serial bucket queue by construction, the frontier engine
+//! by emitting whole λ-level rounds ([`crate::peel::peel_parallel`]) —
+//! so DFT runs unchanged on either, and the equal-λ permutation
+//! differences between them cannot change the canonical hierarchy (the
+//! engine-equivalence proptests pin this).
 
 use crate::hierarchy::{Hierarchy, NO_NODE};
 use crate::peel::Peeling;

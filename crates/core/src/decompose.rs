@@ -12,7 +12,7 @@ use crate::algo::lcps::lcps;
 use crate::algo::naive::naive;
 use crate::error::CoreError;
 use crate::hierarchy::Hierarchy;
-use crate::peel::{peel, Peeling};
+use crate::peel::{peel, peel_parallel_with, FrontierOptions, Peeling};
 use crate::space::{
     ContainerIndex, EdgeSpace, MaterializedSpace, PeelSpace, TriangleSpace, VertexSpace,
 };
@@ -139,6 +139,65 @@ impl std::fmt::Display for Backend {
     }
 }
 
+/// Which peeling engine runs `Set-λ` (see [`mod@crate::peel`] for the
+/// frontier-round scheme and its invariants).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PeelEngine {
+    /// The classic sequential bucket-queue loop ([`crate::peel::peel`]).
+    Serial,
+    /// Frontier-parallel `Set-λ` ([`crate::peel::peel_parallel`]):
+    /// whole λ-level rounds, decrements applied concurrently. Requires
+    /// the materialized backend (selecting it with [`Backend::Auto`]
+    /// forces materialization regardless of the size cap; combining it
+    /// with an explicit [`Backend::Lazy`] is an error) and only applies
+    /// to algorithms that consume a finished peeling
+    /// ([`Algorithm::Naive`], [`Algorithm::Dft`]) — FND interleaves
+    /// hierarchy construction with the pops and LCPS walks the graph
+    /// directly, so both reject it.
+    Frontier,
+    /// Pick automatically: `Frontier` when the run is materialized,
+    /// more than one worker thread is available and the algorithm can
+    /// consume an externally produced peeling; `Serial` otherwise.
+    #[default]
+    Auto,
+}
+
+impl PeelEngine {
+    /// Whether the engine/algorithm pair is expressible at all.
+    fn supports(self, algorithm: Algorithm) -> bool {
+        self != PeelEngine::Frontier || matches!(algorithm, Algorithm::Naive | Algorithm::Dft)
+    }
+
+    /// Resolves `Auto` for a concrete run. `materialized` is the
+    /// already-resolved backend decision.
+    fn resolve(self, algorithm: Algorithm, materialized: bool, threads: usize) -> PeelEngine {
+        match self {
+            PeelEngine::Auto => {
+                if materialized
+                    && threads > 1
+                    && matches!(algorithm, Algorithm::Naive | Algorithm::Dft)
+                {
+                    PeelEngine::Frontier
+                } else {
+                    PeelEngine::Serial
+                }
+            }
+            explicit => explicit,
+        }
+    }
+}
+
+impl std::fmt::Display for PeelEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            PeelEngine::Serial => "serial",
+            PeelEngine::Frontier => "frontier",
+            PeelEngine::Auto => "auto",
+        };
+        write!(f, "{name}")
+    }
+}
+
 /// Tuning for [`decompose_with`]. [`Default`] selects the backend
 /// automatically and uses every available CPU for index construction;
 /// [`decompose`] runs with these defaults.
@@ -146,8 +205,13 @@ impl std::fmt::Display for Backend {
 pub struct DecomposeOptions {
     /// Backend selection policy.
     pub backend: Backend,
-    /// Worker threads for index construction (and parallel ω counting
-    /// where a space supports it). `0` means "all available CPUs".
+    /// Peeling engine selection policy. [`PeelEngine::Frontier`]
+    /// requires a materialized run; see the variant docs for the exact
+    /// interaction with `backend`.
+    pub engine: PeelEngine,
+    /// Worker threads for index construction, frontier peeling rounds,
+    /// and parallel ω counting where a space supports it. `0` means
+    /// "all available CPUs".
     pub threads: usize,
 }
 
@@ -155,6 +219,7 @@ impl Default for DecomposeOptions {
     fn default() -> Self {
         DecomposeOptions {
             backend: Backend::Auto,
+            engine: PeelEngine::Auto,
             threads: 0,
         }
     }
@@ -208,6 +273,9 @@ pub struct Decomposition {
     /// The backend that actually ran ([`Backend::Auto`] resolved to
     /// [`Backend::Lazy`] or [`Backend::Materialized`]).
     pub backend: Backend,
+    /// The peeling engine that actually ran ([`PeelEngine::Auto`]
+    /// resolved to [`PeelEngine::Serial`] or [`PeelEngine::Frontier`]).
+    pub engine: PeelEngine,
     /// λ per cell + peeling order.
     pub peeling: Peeling,
     /// The canonical hierarchy of nuclei.
@@ -233,20 +301,39 @@ pub fn decompose(
 }
 
 /// Runs the chosen `algorithm` for `kind` on `g` with explicit
-/// [`DecomposeOptions`] — in particular the peeling [`Backend`].
-/// Index construction (materialized backend) is accounted to the
-/// peeling phase, like clique enumeration. LCPS walks the graph
-/// directly and ignores the backend choice.
+/// [`DecomposeOptions`] — in particular the peeling [`Backend`] and
+/// [`PeelEngine`]. Index construction (materialized backend) is
+/// accounted to the peeling phase, like clique enumeration. LCPS walks
+/// the graph directly and ignores the backend choice.
 ///
 /// # Errors
-/// [`CoreError::UnsupportedAlgorithm`] when `algorithm` is
-/// [`Algorithm::Lcps`] and `kind` is not [`Kind::Core`].
+/// * [`CoreError::UnsupportedAlgorithm`] when `algorithm` is
+///   [`Algorithm::Lcps`] and `kind` is not [`Kind::Core`];
+/// * [`CoreError::InvalidOptions`] when [`PeelEngine::Frontier`] is
+///   requested together with an algorithm that cannot consume an
+///   externally produced peeling (FND, LCPS) or with an explicit
+///   [`Backend::Lazy`].
 pub fn decompose_with(
     g: &CsrGraph,
     kind: Kind,
     algorithm: Algorithm,
     options: DecomposeOptions,
 ) -> Result<Decomposition, CoreError> {
+    if !options.engine.supports(algorithm) {
+        return Err(CoreError::InvalidOptions {
+            reason: format!(
+                "the frontier peeling engine cannot drive {algorithm}: it only applies to \
+                 algorithms that consume a finished peeling (Naive, DFT)"
+            ),
+        });
+    }
+    if options.engine == PeelEngine::Frontier && options.backend == Backend::Lazy {
+        return Err(CoreError::InvalidOptions {
+            reason: "the frontier peeling engine needs O(1) repeated container access; \
+                     use the materialized (or auto) backend"
+                .to_string(),
+        });
+    }
     match kind {
         Kind::Core => {
             if algorithm == Algorithm::Lcps {
@@ -261,6 +348,7 @@ pub fn decompose_with(
                     kind,
                     algorithm,
                     backend: Backend::Lazy,
+                    engine: PeelEngine::Serial,
                     stats: SkeletonStats {
                         subnuclei: hierarchy.nucleus_count(),
                         adj_connections: 0,
@@ -301,24 +389,52 @@ where
     }
     let t0 = Instant::now();
     let space = make_space(g);
-    if let Some(counts) = resolve_counts(options.backend, &space) {
-        let mspace = MaterializedSpace::with_counts(&space, counts, options.effective_threads());
+    let threads = options.effective_threads();
+    if let Some(counts) = resolve_counts(options.backend, options.engine, &space) {
+        let mspace = MaterializedSpace::with_counts(&space, counts, threads);
+        let engine = options
+            .engine
+            .resolve(algorithm, /* materialized */ true, threads);
         run_on_backend(
             &mspace,
             t0.elapsed(),
             kind,
             algorithm,
             Backend::Materialized,
+            engine,
+            threads,
         )
     } else {
-        run_on_backend(&space, t0.elapsed(), kind, algorithm, Backend::Lazy)
+        let engine = options
+            .engine
+            .resolve(algorithm, /* materialized */ false, threads);
+        debug_assert_eq!(engine, PeelEngine::Serial, "frontier needs the index");
+        run_on_backend(
+            &space,
+            t0.elapsed(),
+            kind,
+            algorithm,
+            Backend::Lazy,
+            engine,
+            threads,
+        )
     }
 }
 
 /// Resolves a backend choice with at most one ω clone: `Some(counts)`
 /// means materialize (the counts feed straight into the index build),
-/// `None` means stay lazy.
-fn resolve_counts<S: PeelSpace>(backend: Backend, space: &S) -> Option<Vec<u32>> {
+/// `None` means stay lazy. An explicit frontier-engine request forces
+/// materialization (the engine is defined over the flat index), even
+/// past the `Auto` size cap.
+fn resolve_counts<S: PeelSpace>(
+    backend: Backend,
+    engine: PeelEngine,
+    space: &S,
+) -> Option<Vec<u32>> {
+    if engine == PeelEngine::Frontier {
+        // backend == Lazy was rejected up front in decompose_with
+        return Some(space.degrees());
+    }
     if backend == Backend::Lazy {
         return None;
     }
@@ -330,23 +446,27 @@ fn resolve_counts<S: PeelSpace>(backend: Backend, space: &S) -> Option<Vec<u32>>
 
 /// The algorithm dispatch, monomorphized once per space *and* backend
 /// (`build_t` covers space construction plus, when materialized, the
-/// index build).
-fn run_on_backend<S: PeelSpace>(
+/// index build). `engine` must already be resolved (never `Auto`).
+fn run_on_backend<S: PeelSpace + Sync>(
     space: &S,
     build_t: Duration,
     kind: Kind,
     algorithm: Algorithm,
     backend: Backend,
+    engine: PeelEngine,
+    threads: usize,
 ) -> Result<Decomposition, CoreError> {
     match algorithm {
         // run_generic rejects LCPS before dispatching to a backend.
         Algorithm::Lcps => unreachable!("LCPS never reaches backend dispatch"),
         Algorithm::Fnd => {
+            debug_assert_eq!(engine, PeelEngine::Serial, "FND is order-sequential");
             let out = fnd(space);
             Ok(Decomposition {
                 kind,
                 algorithm,
                 backend,
+                engine: PeelEngine::Serial,
                 peeling: out.peeling,
                 hierarchy: out.hierarchy,
                 times: PhaseTimes {
@@ -361,7 +481,16 @@ fn run_on_backend<S: PeelSpace>(
         }
         Algorithm::Naive | Algorithm::Dft => {
             let t0 = Instant::now();
-            let peeling = peel(space);
+            let peeling = match engine {
+                PeelEngine::Frontier => peel_parallel_with(
+                    space,
+                    FrontierOptions {
+                        threads,
+                        ..FrontierOptions::default()
+                    },
+                ),
+                _ => peel(space),
+            };
             let peel_t = build_t + t0.elapsed();
             let t1 = Instant::now();
             let (hierarchy, subnuclei) = match algorithm {
@@ -380,6 +509,7 @@ fn run_on_backend<S: PeelSpace>(
                 kind,
                 algorithm,
                 backend,
+                engine,
                 peeling,
                 hierarchy,
                 times: PhaseTimes {
@@ -404,7 +534,10 @@ pub fn hypo_baseline(g: &CsrGraph, kind: Kind) -> (PhaseTimes, usize) {
 }
 
 /// [`hypo_baseline`] with an explicit backend choice, so the baseline
-/// stays comparable when the other algorithms run materialized.
+/// stays comparable when the other algorithms run materialized. The
+/// [`DecomposeOptions::engine`] field is ignored: the baseline always
+/// peels serially (it exists to reproduce the paper's sequential cost
+/// model, not to be fast).
 pub fn hypo_baseline_with(
     g: &CsrGraph,
     kind: Kind,
@@ -429,7 +562,7 @@ pub fn hypo_baseline_with(
         t0: Instant,
         options: DecomposeOptions,
     ) -> (PhaseTimes, usize) {
-        if let Some(counts) = resolve_counts(options.backend, space) {
+        if let Some(counts) = resolve_counts(options.backend, PeelEngine::Serial, space) {
             let m = MaterializedSpace::with_counts(space, counts, options.effective_threads());
             run(&m, t0.elapsed())
         } else {
@@ -505,6 +638,9 @@ mod tests {
                     algo,
                     DecomposeOptions {
                         backend: Backend::Lazy,
+                        // pinned: this test isolates backend equivalence
+                        // (strict order equality needs one engine)
+                        engine: PeelEngine::Serial,
                         threads: 2,
                     },
                 )
@@ -515,6 +651,7 @@ mod tests {
                     algo,
                     DecomposeOptions {
                         backend: Backend::Materialized,
+                        engine: PeelEngine::Serial,
                         threads: 2,
                     },
                 )
@@ -547,6 +684,7 @@ mod tests {
                 DecomposeOptions {
                     backend: Backend::Lazy,
                     threads: 1,
+                    ..DecomposeOptions::default()
                 },
             );
             let (_, mat) = hypo_baseline_with(
@@ -555,10 +693,117 @@ mod tests {
                 DecomposeOptions {
                     backend: Backend::Materialized,
                     threads: 3,
+                    ..DecomposeOptions::default()
                 },
             );
             assert_eq!(lazy, mat, "{kind}");
         }
+    }
+
+    #[test]
+    fn engines_produce_identical_decompositions() {
+        let g = test_graphs::nested_cores();
+        for kind in Kind::all() {
+            for &algo in &[Algorithm::Naive, Algorithm::Dft] {
+                let serial = decompose_with(
+                    &g,
+                    kind,
+                    algo,
+                    DecomposeOptions {
+                        engine: PeelEngine::Serial,
+                        threads: 2,
+                        ..DecomposeOptions::default()
+                    },
+                )
+                .expect("serial");
+                let frontier = decompose_with(
+                    &g,
+                    kind,
+                    algo,
+                    DecomposeOptions {
+                        engine: PeelEngine::Frontier,
+                        threads: 2,
+                        ..DecomposeOptions::default()
+                    },
+                )
+                .expect("frontier");
+                assert_eq!(frontier.engine, PeelEngine::Frontier);
+                assert_eq!(
+                    frontier.backend,
+                    Backend::Materialized,
+                    "engine forces index"
+                );
+                assert_eq!(
+                    serial.peeling.lambda, frontier.peeling.lambda,
+                    "{kind}/{algo}"
+                );
+                assert_eq!(serial.hierarchy, frontier.hierarchy, "{kind}/{algo}");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_engine_rejects_incompatible_options() {
+        let g = test_graphs::nested_cores();
+        let frontier = |backend| DecomposeOptions {
+            backend,
+            engine: PeelEngine::Frontier,
+            threads: 2,
+        };
+        let err =
+            decompose_with(&g, Kind::Core, Algorithm::Fnd, frontier(Backend::Auto)).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidOptions { .. }), "{err}");
+        assert!(format!("{err}").contains("frontier"));
+        let err =
+            decompose_with(&g, Kind::Core, Algorithm::Lcps, frontier(Backend::Auto)).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidOptions { .. }), "{err}");
+        let err =
+            decompose_with(&g, Kind::Truss, Algorithm::Dft, frontier(Backend::Lazy)).unwrap_err();
+        assert!(format!("{err}").contains("materialized"), "{err}");
+    }
+
+    #[test]
+    fn auto_engine_resolution_policy() {
+        // Auto picks Frontier only for materialized multi-thread
+        // Naive/DFT runs, Serial everywhere else.
+        let auto = PeelEngine::Auto;
+        assert_eq!(auto.resolve(Algorithm::Dft, true, 4), PeelEngine::Frontier);
+        assert_eq!(
+            auto.resolve(Algorithm::Naive, true, 2),
+            PeelEngine::Frontier
+        );
+        assert_eq!(auto.resolve(Algorithm::Dft, true, 1), PeelEngine::Serial);
+        assert_eq!(auto.resolve(Algorithm::Dft, false, 4), PeelEngine::Serial);
+        assert_eq!(auto.resolve(Algorithm::Fnd, true, 4), PeelEngine::Serial);
+        assert_eq!(auto.resolve(Algorithm::Lcps, true, 4), PeelEngine::Serial);
+        // explicit choices resolve to themselves
+        assert_eq!(
+            PeelEngine::Frontier.resolve(Algorithm::Dft, true, 1),
+            PeelEngine::Frontier
+        );
+        assert_eq!(
+            PeelEngine::Serial.resolve(Algorithm::Dft, true, 8),
+            PeelEngine::Serial
+        );
+        // the decomposition reports the resolved engine
+        let g = test_graphs::nested_cores();
+        let d = decompose_with(
+            &g,
+            Kind::Core,
+            Algorithm::Dft,
+            DecomposeOptions {
+                engine: PeelEngine::Auto,
+                threads: 2,
+                ..DecomposeOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(d.engine, PeelEngine::Frontier);
+        let d = decompose(&g, Kind::Core, Algorithm::Fnd).unwrap();
+        assert_eq!(d.engine, PeelEngine::Serial);
+        assert_eq!(format!("{}", PeelEngine::Auto), "auto");
+        assert_eq!(format!("{}", PeelEngine::Frontier), "frontier");
+        assert_eq!(PeelEngine::default(), PeelEngine::Auto);
     }
 
     #[test]

@@ -13,6 +13,14 @@ pub enum CoreError {
         /// Family it was requested for.
         kind: String,
     },
+    /// The requested [`crate::decompose::DecomposeOptions`] combination
+    /// is contradictory (e.g. the frontier peeling engine with the lazy
+    /// backend, or with FND, which interleaves hierarchy construction
+    /// with the serial peel).
+    InvalidOptions {
+        /// Human-readable explanation of the conflict.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -20,6 +28,9 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::UnsupportedAlgorithm { algorithm, kind } => {
                 write!(f, "{algorithm} does not support the {kind} decomposition")
+            }
+            CoreError::InvalidOptions { reason } => {
+                write!(f, "invalid decompose options: {reason}")
             }
         }
     }

@@ -56,11 +56,11 @@ pub(crate) mod test_graphs;
 
 pub use decompose::{
     decompose, decompose_with, hypo_baseline, hypo_baseline_with, Algorithm, Backend,
-    DecomposeOptions, Decomposition, Kind, PhaseTimes,
+    DecomposeOptions, Decomposition, Kind, PeelEngine, PhaseTimes,
 };
 pub use error::CoreError;
 pub use hierarchy::{Hierarchy, HierarchyNode};
-pub use peel::{peel, Peeling};
+pub use peel::{peel, peel_parallel, peel_parallel_with, FrontierOptions, Peeling};
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -70,16 +70,16 @@ pub mod prelude {
     pub use crate::analytics::{skeleton_profile, SkeletonProfile};
     pub use crate::decompose::{
         decompose, decompose_with, hypo_baseline, hypo_baseline_with, Algorithm, Backend,
-        DecomposeOptions, Decomposition, Kind, PhaseTimes,
+        DecomposeOptions, Decomposition, Kind, PeelEngine, PhaseTimes,
     };
     pub use crate::export::{extract_nucleus, hierarchy_to_dot, ExtractedSubgraph};
     pub use crate::hierarchy::{Hierarchy, HierarchyNode};
     pub use crate::maintenance::DynamicCores;
-    pub use crate::peel::{peel, Peeling};
+    pub use crate::peel::{peel, peel_parallel, peel_parallel_with, FrontierOptions, Peeling};
     pub use crate::report::{describe, nucleus_vertices, render_tree, summarize_nucleus};
     pub use crate::space::{
-        ContainerIndex, EdgeK4Space, EdgeSpace, MaterializedSpace, PeelBackend, PeelSpace,
-        TriangleSpace, VertexSpace, VertexTriangleSpace,
+        ContainerIndex, EdgeK4Space, EdgeSpace, MaterializedSpace, PeelBackend, PeelCells,
+        PeelSpace, TriangleSpace, VertexSpace, VertexTriangleSpace,
     };
     pub use crate::weighted::{weighted_core_decomposition, weighted_core_numbers};
 }

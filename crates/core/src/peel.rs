@@ -1,8 +1,53 @@
-//! The generic peeling process (`Set-λ`, Algorithm 1 of the paper).
+//! The peeling process (`Set-λ`, Algorithm 1 of the paper), in two
+//! engines: the classic sequential bucket-queue loop ([`peel`]) and a
+//! frontier-parallel variant ([`peel_parallel`]).
+//!
+//! # The frontier-round invariant
+//!
+//! Serial `Set-λ` pops one minimum-ω cell at a time. The frontier
+//! engine instead processes whole λ-levels in *rounds*: at level `k` it
+//! repeatedly collects every unprocessed cell with current ω ≤ k (the
+//! **frontier**), assigns them all `λ = k`, and applies their container
+//! decrements concurrently (De Zoysa et al. 2021 use the same scheme
+//! for shared-memory densest-subgraph peeling). Correctness rests on
+//! two facts the serial loop also relies on:
+//!
+//! 1. **Saturating decrements.** ω is only ever decremented while
+//!    strictly above the current level `k` (the `ω(v) > ω(u)` guard of
+//!    Alg. 1), so concurrent decrements cannot drag a cell below the
+//!    level floor; a cell whose ω reaches `k` mid-round joins the next
+//!    frontier of the *same* level and still receives `λ = k` — exactly
+//!    the value the serial loop would assign.
+//! 2. **One decrement per dead container.** A container dies when its
+//!    first member is peeled. Round stamps
+//!    ([`crate::space::PeelCells`]) recover the serial accounting: a
+//!    container with a member stamped in an *earlier* round is dead and
+//!    skipped; among members stamped in the *same* round, only the
+//!    smallest cell id applies the container's decrements, so every
+//!    dead container decrements each surviving co-cell exactly once.
+//!
+//! Rounds emit cells in ascending-id order, level by level, so the
+//! produced [`Peeling::order`] is **λ-monotone** — the only property
+//! DF-Traversal ([`crate::algo::dft`]) needs from a peeling order — and
+//! the engine is fully deterministic: λ values equal the serial
+//! engine's bit for bit (the decomposition is unique), and the order
+//! itself is identical for every thread count, because frontier
+//! *membership* is determined at round barriers, not by thread timing.
+//! FND is the one algorithm that cannot ride on top: Alg. 8 interleaves
+//! hierarchy construction with the pops themselves, so it stays on the
+//! serial engine.
+//!
+//! The frontier engine assumes container enumeration is cheap enough to
+//! repeat per round participant — run it over a
+//! [`crate::space::MaterializedSpace`] (flat [`ContainerIndex`] scans),
+//! which is how [`crate::decompose::PeelEngine::Frontier`] wires it.
+//!
+//! [`ContainerIndex`]: crate::space::ContainerIndex
 
+use nucleus_cliques::balanced_ranges;
 use nucleus_graph::bucket::PeelBuckets;
 
-use crate::space::PeelBackend;
+use crate::space::{PeelBackend, PeelCells};
 
 /// Output of the peeling phase: the λ_s value of every cell plus the
 /// processing order (non-decreasing in λ — the property both DFT and FND
@@ -83,6 +128,252 @@ pub fn peel<B: PeelBackend>(space: &B) -> Peeling {
         lambda,
         max_lambda,
         order,
+    }
+}
+
+/// Tuning for [`peel_parallel_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct FrontierOptions {
+    /// Worker threads for frontier rounds. `0` means "all available
+    /// CPUs"; `1` never spawns and uses plain (non-CAS) stores.
+    pub threads: usize,
+    /// Rounds whose total work estimate (Σ 1 + ω₀ over the frontier)
+    /// falls below this run inline on the calling thread — spawning
+    /// costs more than it buys on small frontiers. Set to `0` to force
+    /// every round through the spawn path (the equivalence tests do,
+    /// so the concurrent code path is exercised on tiny graphs).
+    pub min_parallel_work: usize,
+}
+
+impl Default for FrontierOptions {
+    fn default() -> Self {
+        FrontierOptions {
+            threads: 0,
+            min_parallel_work: 1 << 14,
+        }
+    }
+}
+
+impl FrontierOptions {
+    /// The thread count with `0` resolved to the CPU count.
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        }
+    }
+}
+
+/// Frontier-parallel `Set-λ` with default tuning — see the module docs
+/// for the round scheme and the invariant that keeps DFT valid on the
+/// resulting order. Produces the same λ values as [`peel`] and a
+/// λ-monotone order that is deterministic across thread counts (the
+/// order differs from the serial engine's within λ levels: rounds emit
+/// in ascending cell id, the bucket queue in counting-sort position).
+///
+/// `threads = 0` uses every available CPU. Drive it through a
+/// [`crate::space::MaterializedSpace`] so each round's container scans
+/// are flat-array reads:
+///
+/// ```
+/// use nucleus_core::peel::{peel, peel_parallel};
+/// use nucleus_core::space::{MaterializedSpace, VertexSpace};
+/// use nucleus_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+/// let vs = VertexSpace::new(&g);
+/// let m = MaterializedSpace::new(&vs);
+/// let p = peel_parallel(&m, 2);
+/// assert_eq!(p.lambda, peel(&vs).lambda);
+/// ```
+pub fn peel_parallel<B: PeelBackend + Sync>(space: &B, threads: usize) -> Peeling {
+    peel_parallel_with(
+        space,
+        FrontierOptions {
+            threads,
+            ..FrontierOptions::default()
+        },
+    )
+}
+
+/// [`peel_parallel`] with explicit [`FrontierOptions`].
+pub fn peel_parallel_with<B: PeelBackend + Sync>(space: &B, options: FrontierOptions) -> Peeling {
+    let n = space.cell_count();
+    let threads = options.effective_threads();
+    let degrees = space.degrees();
+    // Packed (processed-round, live ω) word per cell — one cache-line
+    // touch answers both hot-loop questions (see PeelCells).
+    let cells = PeelCells::new(&degrees);
+    let mut lambda = vec![0u32; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut max_lambda = 0u32;
+    // Zero-container fast path: ω₀ = 0 cells have λ = 0, appear in no
+    // record (a co-cell always has ω ≥ 1) and decrement nothing — emit
+    // them directly, in the same ascending order the level-0 frontier
+    // would produce. Everything else enters the alive list, compacted
+    // on every level-opening scan; `k` starts at the smallest live ω.
+    let mut alive: Vec<u32> = Vec::with_capacity(n);
+    let mut k = u32::MAX;
+    for u in 0..n as u32 {
+        let d = degrees[u as usize];
+        if d == 0 {
+            order.push(u);
+        } else {
+            alive.push(u);
+            k = k.min(d);
+        }
+    }
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut next: Vec<u32> = Vec::new();
+    let mut round = 0u32;
+    while order.len() < n {
+        // Open level k: pull every alive cell with current ω ≤ k into
+        // the frontier (stamping it in the same pass — the packed word
+        // is already in hand) and remember the smallest ω above k so
+        // empty levels are jumped instead of scanned one by one.
+        frontier.clear();
+        let mut min_above = u32::MAX;
+        alive.retain(|&u| {
+            let (stamp, w) = cells.load(u);
+            if stamp != PeelCells::ALIVE {
+                return false;
+            }
+            if w <= k {
+                cells.mark_with_omega(u, round, w);
+                lambda[u as usize] = k;
+                frontier.push(u);
+                false
+            } else {
+                min_above = min_above.min(w);
+                true
+            }
+        });
+        if frontier.is_empty() {
+            debug_assert!(!alive.is_empty(), "cells left but none reachable");
+            k = min_above;
+            continue;
+        }
+        loop {
+            order.extend_from_slice(&frontier);
+            max_lambda = k;
+            next.clear();
+            frontier_round(
+                space,
+                &cells,
+                &frontier,
+                &degrees,
+                k,
+                round,
+                threads,
+                options.min_parallel_work,
+                &mut next,
+            );
+            round += 1;
+            if next.is_empty() {
+                break;
+            }
+            std::mem::swap(&mut frontier, &mut next);
+            // Membership was fixed at the barrier; sorting makes the
+            // emitted order independent of which worker found what.
+            // (Level-opening frontiers skip this: the compacting scan
+            // above produces them in ascending id order already.)
+            frontier.sort_unstable();
+            for &u in &frontier {
+                cells.mark(u, round);
+                lambda[u as usize] = k;
+            }
+        }
+        k += 1;
+    }
+    Peeling {
+        lambda,
+        max_lambda,
+        order,
+    }
+}
+
+/// Applies one round's container decrements, appending the cells whose
+/// ω crossed down to exactly `k` — the next frontier of this level —
+/// to `next` (membership is unique: only the decrement that performs
+/// the `k + 1 → k` transition reports the cell). `next` is a reused
+/// buffer, cleared by the caller.
+#[allow(clippy::too_many_arguments)] // internal: one call site per engine path
+fn frontier_round<B: PeelBackend + Sync>(
+    space: &B,
+    cells: &PeelCells,
+    frontier: &[u32],
+    degrees: &[u32],
+    k: u32,
+    round: u32,
+    threads: usize,
+    min_parallel_work: usize,
+    next: &mut Vec<u32>,
+) {
+    let weight = |u: u32| degrees[u as usize] as usize + 1;
+    if threads <= 1 || frontier.iter().map(|&u| weight(u)).sum::<usize>() < min_parallel_work {
+        // Inline fast path: same packed storage, but single-writer
+        // decrements (relaxed load + store compile to plain moves — no
+        // compare-exchange in the single-threaded engine).
+        let dec = |v: u32| cells.dec_above(v, k);
+        scan_frontier_cells(space, cells, frontier, round, &dec, next);
+        return;
+    }
+    let dec = |v: u32| cells.dec_above_atomic(v, k);
+    let weights: Vec<usize> = frontier.iter().map(|&u| weight(u)).collect();
+    let ranges = balanced_ranges(&weights, threads);
+    let parts: Vec<Vec<u32>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let owned = &frontier[range];
+                let dec = &dec;
+                scope.spawn(move || {
+                    let mut part = Vec::new();
+                    scan_frontier_cells(space, cells, owned, round, dec, &mut part);
+                    part
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("peel worker panicked"))
+            .collect()
+    });
+    for mut part in parts {
+        next.append(&mut part);
+    }
+}
+
+/// The per-worker scan: for each owned frontier cell, decide container
+/// liveness/ownership from the round stamps and apply decrements via
+/// `dec` (which reports `true` when its target just dropped to the
+/// level value and must join the next frontier).
+fn scan_frontier_cells<B: PeelBackend, D: Fn(u32) -> bool>(
+    space: &B,
+    cells: &PeelCells,
+    owned: &[u32],
+    round: u32,
+    dec: &D,
+    next: &mut Vec<u32>,
+) {
+    for &u in owned {
+        space.for_each_container(u, |others| {
+            for &v in others {
+                let s = cells.stamp(v);
+                if s < round {
+                    return; // container died in an earlier round
+                }
+                if s == round && v < u {
+                    return; // same-round co-cell with smaller id owns it
+                }
+            }
+            for &v in others {
+                if dec(v) {
+                    next.push(v);
+                }
+            }
+        });
     }
 }
 
@@ -237,5 +528,95 @@ mod tests {
         let g = complete(5);
         let p = peel(&VertexSpace::new(&g));
         assert_eq!(p.lambda_histogram().iter().sum::<usize>(), 5);
+    }
+
+    /// λ from the frontier engine equals the serial engine on every
+    /// space, at several thread counts, with the spawn path forced.
+    fn check_frontier_matches_serial(g: &CsrGraph) {
+        let vs = VertexSpace::new(g);
+        let es = EdgeSpace::new(g);
+        let ts = TriangleSpace::new(g);
+        fn check<S: crate::space::PeelSpace + Sync>(space: &S) {
+            let serial = peel(space);
+            let m = crate::space::MaterializedSpace::new(space);
+            for threads in [1, 2, 8] {
+                let par = peel_parallel_with(
+                    space,
+                    FrontierOptions {
+                        threads,
+                        min_parallel_work: 0,
+                    },
+                );
+                assert_eq!(par.lambda, serial.lambda, "lazy backend, {threads} threads");
+                let par_m = peel_parallel_with(
+                    &m,
+                    FrontierOptions {
+                        threads,
+                        min_parallel_work: 0,
+                    },
+                );
+                assert_eq!(
+                    par_m.lambda, serial.lambda,
+                    "materialized, {threads} threads"
+                );
+                assert_eq!(par_m.max_lambda, serial.max_lambda);
+                // λ-monotone order covering every cell exactly once
+                let mut last = 0;
+                for &c in &par_m.order {
+                    assert!(par_m.lambda_of(c) >= last);
+                    last = par_m.lambda_of(c);
+                }
+                let mut seen = par_m.order.clone();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..space.cell_count() as u32).collect::<Vec<_>>());
+                // deterministic across thread counts
+                assert_eq!(par.order, par_m.order);
+            }
+        }
+        check(&vs);
+        check(&es);
+        check(&ts);
+    }
+
+    #[test]
+    fn frontier_engine_matches_serial_on_clique_and_mixed() {
+        check_frontier_matches_serial(&complete(7));
+        check_frontier_matches_serial(&crate::test_graphs::nested_cores());
+        check_frontier_matches_serial(&CsrGraph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+            ],
+        ));
+    }
+
+    #[test]
+    fn frontier_engine_on_empty_and_isolated() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let p = peel_parallel(&VertexSpace::new(&g), 4);
+        assert_eq!(p.cell_count(), 0);
+        assert_eq!(p.max_lambda, 0);
+
+        let g = CsrGraph::from_edges(4, &[(0, 1)]);
+        let p = peel_parallel(&VertexSpace::new(&g), 2);
+        assert_eq!(p.lambda, vec![1, 1, 0, 0]);
+        // isolated cells are emitted first (λ = 0 level precedes λ = 1)
+        assert_eq!(&p.order[..2], &[2, 3]);
+    }
+
+    #[test]
+    fn frontier_order_is_ascending_within_rounds() {
+        // K5: one frontier containing everything, emitted in id order.
+        let g = complete(5);
+        let p = peel_parallel(&VertexSpace::new(&g), 2);
+        assert_eq!(p.order, vec![0, 1, 2, 3, 4]);
+        assert!(p.lambda.iter().all(|&l| l == 4));
     }
 }

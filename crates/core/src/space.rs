@@ -34,6 +34,14 @@
 //! [`crate::decompose::Backend`] (`Auto` materializes when the
 //! estimated index fits a size cap) or the `nucleus` CLI's
 //! `--backend {auto,lazy,materialized}` flag.
+//!
+//! The materialized backend is also the substrate of the
+//! **frontier-parallel peeling engine**
+//! ([`crate::peel::peel_parallel`], selected through
+//! [`crate::decompose::PeelEngine`]): processing a whole λ-level per
+//! round only pays off when each participant's container scan is a flat
+//! [`ContainerIndex`] read, and the engine's container-liveness
+//! accounting lives in [`PeelCells`] alongside the index.
 
 /// The container-enumeration contract every peeling algorithm drives.
 ///
@@ -87,7 +95,7 @@ pub mod vertex_triangle;
 
 pub use edge::EdgeSpace;
 pub use edge_k4::EdgeK4Space;
-pub use materialized::{ContainerIndex, MaterializedSpace};
+pub use materialized::{ContainerIndex, MaterializedSpace, PeelCells};
 pub use triangle::TriangleSpace;
 pub use vertex::VertexSpace;
 pub use vertex_triangle::VertexTriangleSpace;

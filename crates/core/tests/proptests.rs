@@ -9,7 +9,7 @@ use nucleus_core::algo::fnd::fnd;
 use nucleus_core::algo::lcps::lcps;
 use nucleus_core::algo::naive::naive;
 use nucleus_core::algo::tcp::{tcp_query, TcpIndex};
-use nucleus_core::peel::{peel, peel_reference};
+use nucleus_core::peel::{peel, peel_parallel_with, peel_reference, FrontierOptions};
 use nucleus_core::space::{
     EdgeK4Space, EdgeSpace, MaterializedSpace, PeelBackend, PeelSpace, TriangleSpace, VertexSpace,
     VertexTriangleSpace,
@@ -60,8 +60,91 @@ fn check_backend_equivalence<S: PeelSpace + Sync>(space: &S) {
     }
 }
 
+/// Pins the frontier-parallel engine to the serial one on any space, at
+/// 1, 2 and 8 threads with the spawn path forced (`min_parallel_work:
+/// 0`), checking everything downstream consumers rely on: identical λ,
+/// a λ-monotone permutation order that is identical across thread
+/// counts, and identical DFT *and* FND hierarchies built on top.
+fn check_engine_equivalence<S: PeelSpace + Sync>(space: &S) {
+    let serial = peel(space);
+    let mat = MaterializedSpace::with_threads(space, 2);
+    // thread-count-invariant references, computed once
+    let (h_serial, _) = dft(&mat, &serial);
+    let h_fnd = fnd(space).hierarchy;
+    let mut orders: Vec<Vec<u32>> = vec![];
+    for threads in [1usize, 2, 8] {
+        let par = peel_parallel_with(
+            &mat,
+            FrontierOptions {
+                threads,
+                min_parallel_work: 0,
+            },
+        );
+        assert_eq!(par.lambda, serial.lambda, "λ at {threads} threads");
+        assert_eq!(par.max_lambda, serial.max_lambda, "max λ");
+        // the order is a λ-monotone permutation of all cells
+        let mut last = 0u32;
+        for &c in &par.order {
+            assert!(par.lambda_of(c) >= last, "λ-monotone order");
+            last = par.lambda_of(c);
+        }
+        let mut sorted = par.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..space.cell_count() as u32).collect::<Vec<_>>());
+        // the DFT hierarchy over the parallel order matches the serial
+        // one, and FND (always serial) agrees too
+        let (h_par, _) = dft(&mat, &par);
+        assert_eq!(h_serial, h_par, "DFT hierarchy at {threads} threads");
+        assert_eq!(h_fnd, h_par, "FND vs frontier-DFT hierarchy");
+        orders.push(par.order);
+    }
+    // deterministic: the emitted order is thread-count independent
+    assert!(orders.windows(2).all(|w| w[0] == w[1]), "order determinism");
+}
+
+/// Deterministic multi-model coverage for the engine equivalence: one
+/// Erdős–Rényi and one Barabási–Albert graph per space family (the
+/// proptests below cover the adversarial random cases).
+#[test]
+fn engine_equivalence_on_er_and_ba_models() {
+    let er = nucleus_gen::er::gnp(120, 0.08, 3);
+    let ba = nucleus_gen::ba::barabasi_albert(150, 4, 3);
+    for g in [&er, &ba] {
+        check_engine_equivalence(&VertexSpace::new(g));
+        check_engine_equivalence(&EdgeSpace::new(g));
+        check_engine_equivalence(&TriangleSpace::new(g));
+        check_engine_equivalence(&VertexTriangleSpace::new(g));
+        check_engine_equivalence(&EdgeK4Space::new(g));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_equivalence_core(g in graph_strategy(24, 80)) {
+        check_engine_equivalence(&VertexSpace::new(&g));
+    }
+
+    #[test]
+    fn engine_equivalence_truss(g in graph_strategy(16, 60)) {
+        check_engine_equivalence(&EdgeSpace::new(&g));
+    }
+
+    #[test]
+    fn engine_equivalence_nucleus34(g in graph_strategy(12, 50)) {
+        check_engine_equivalence(&TriangleSpace::new(&g));
+    }
+
+    #[test]
+    fn engine_equivalence_vertex_triangle(g in graph_strategy(14, 50)) {
+        check_engine_equivalence(&VertexTriangleSpace::new(&g));
+    }
+
+    #[test]
+    fn engine_equivalence_edge_k4(g in graph_strategy(10, 40)) {
+        check_engine_equivalence(&EdgeK4Space::new(&g));
+    }
 
     #[test]
     fn backend_equivalence_core(g in graph_strategy(24, 80)) {

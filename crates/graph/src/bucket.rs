@@ -13,10 +13,22 @@
 /// Min-bucket structure over integer keys, specialized for peeling:
 /// keys only ever *decrease by one at a time*, and never below the key of
 /// the most recently popped element.
+///
+/// # Laziness invariant
+///
+/// `bin[d]` is kept **exact only for buckets above the floor** (the key
+/// of the most recently popped element). Pops consume the minimum
+/// bucket, so they can only make the starts of buckets *at or below*
+/// the floor stale — and [`PeelBuckets::decrement`] may only touch
+/// elements with `key > floor`, so those stale entries are never read
+/// again. This is what lets `pop_min` run in O(1) instead of rewriting
+/// every bucket start `≤ k + 1` on each pop.
 #[derive(Clone, Debug)]
 pub struct PeelBuckets {
     /// `bin[d]` = first index in `vert` of the (unpopped part of the)
-    /// bucket with key `d`. Length `max_key + 2`.
+    /// bucket with key `d`. Length `max_key + 2`. Exact for `d > floor`;
+    /// entries for drained buckets go stale and are never read (see the
+    /// laziness invariant above).
     bin: Vec<usize>,
     /// `pos[x]` = current index of element `x` in `vert`.
     pos: Vec<usize>,
@@ -24,6 +36,10 @@ pub struct PeelBuckets {
     vert: Vec<u32>,
     /// Current key of every element.
     key: Vec<u32>,
+    /// Popped-element bitmap (one bit per element): 64× denser than the
+    /// `pos`-vs-cursor comparison, so the peeling loop's dead-container
+    /// scans stay in cache on large inputs.
+    popped: Vec<u64>,
     cursor: usize,
     /// Key of the most recently popped element (monotone non-decreasing).
     floor: u32,
@@ -57,6 +73,7 @@ impl PeelBuckets {
             pos,
             vert,
             key: keys,
+            popped: vec![0u64; n.div_ceil(64)],
             cursor: 0,
             floor: 0,
         }
@@ -81,7 +98,7 @@ impl PeelBuckets {
     /// Whether `x` has already been popped.
     #[inline]
     pub fn is_popped(&self, x: u32) -> bool {
-        self.pos[x as usize] < self.cursor
+        self.popped[x as usize / 64] >> (x % 64) & 1 == 1
     }
 
     /// Pops an element with the minimum current key.
@@ -101,12 +118,13 @@ impl PeelBuckets {
             self.floor
         );
         self.floor = k;
-        // Keep `bin` consistent: every bucket ≤ k starts after the cursor.
-        for d in &mut self.bin[..=k as usize + 1] {
-            if *d <= self.cursor {
-                *d = self.cursor + 1;
-            }
-        }
+        // Deliberately no `bin` maintenance here: the pop only stales
+        // the starts of buckets ≤ k, which `decrement` (guarded by
+        // `key > floor = k`) can never read. Rewriting every bucket
+        // start ≤ k + 1 on each pop — the eager alternative — costs
+        // O(max_key) per pop and made peeling quadratic on inputs with
+        // a long ladder of distinct keys.
+        self.popped[x as usize / 64] |= 1 << (x % 64);
         self.cursor += 1;
         Some((x, k))
     }
@@ -126,8 +144,12 @@ impl PeelBuckets {
             "decrement would drop key below peeling floor"
         );
         let p = self.pos[xi];
+        // `key[x] > floor` means bucket `d` is above the floor, where
+        // `bin` is exact (see the laziness invariant on the struct); the
+        // clamp is defensive normalization for the cursor boundary only.
         let start = self.bin[d].max(self.cursor);
-        self.bin[d] = start; // normalize stale starts lazily
+        debug_assert!(self.key[self.vert[start] as usize] == self.key[xi]);
+        self.bin[d] = start;
         let w = self.vert[start];
         if w != x {
             self.vert[p] = w;
@@ -152,6 +174,12 @@ pub struct MaxBuckets {
 
 impl MaxBuckets {
     /// Queue accepting priorities `0..=max_priority`.
+    ///
+    /// `max_priority` is a hard capacity invariant: [`MaxBuckets::push`]
+    /// saturates any larger priority to `max_priority` (checked in
+    /// release builds too, not just a `debug_assert`), so a queue built
+    /// with `MaxBuckets::new(0)` degenerates to a stack of priority-0
+    /// elements rather than indexing out of bounds.
     pub fn new(max_priority: u32) -> Self {
         MaxBuckets {
             buckets: vec![Vec::new(); max_priority as usize + 1],
@@ -171,10 +199,16 @@ impl MaxBuckets {
     }
 
     /// Pushes `x` with priority `p`.
+    ///
+    /// Priorities above the `max_priority` the queue was built with are
+    /// clamped to `max_priority` — the saturating release-mode
+    /// enforcement of the capacity invariant, identical in debug and
+    /// release so behavior never diverges between the two (callers that
+    /// consider an out-of-range priority a logic error should validate
+    /// before pushing).
     #[inline]
     pub fn push(&mut self, x: u32, p: u32) {
-        let p = p as usize;
-        debug_assert!(p < self.buckets.len());
+        let p = (p as usize).min(self.buckets.len() - 1);
         self.buckets[p].push(x);
         if p > self.cur_max {
             self.cur_max = p;
@@ -264,6 +298,76 @@ mod tests {
         assert_eq!(q.len(), 0);
     }
 
+    /// Regression test for the O(max_key) `bin` rewrite `pop_min` used
+    /// to perform: keys form one long ladder (0, 1, 2, …), so the old
+    /// eager normalization rewrote `k + 2` bucket starts on the k-th
+    /// pop — O(n²) total, minutes at this size. The lazy scheme pops
+    /// the whole ladder in O(n).
+    #[test]
+    fn peel_large_max_key_ladder_is_linear() {
+        let n: u32 = 200_000;
+        let mut q = PeelBuckets::new((0..n).collect());
+        // Interleave decrements so stale-looking bucket starts are
+        // exercised, not just straight pops: before popping element i,
+        // pull i + 1 down by one (from i + 1 to i, entering the bucket
+        // currently being drained).
+        let mut popped = 0u32;
+        let mut last = 0u32;
+        while let Some((x, k)) = q.pop_min() {
+            assert!(k >= last, "monotone pops");
+            last = k;
+            popped += 1;
+            let next = x + 1;
+            if next < n && !q.is_popped(next) && q.key(next) > k {
+                q.decrement(next);
+            }
+        }
+        assert_eq!(popped, n);
+        // every second element was decremented once: λ ladder collapses
+        assert_eq!(last, n - 1 - 1); // final key: n-1 decremented once
+    }
+
+    /// Randomized cross-check of the lazy `bin` maintenance against a
+    /// naive priority simulation: arbitrary valid interleavings of
+    /// `pop_min` and `decrement` (respecting the `key > floor` guard)
+    /// must pop identical key sequences.
+    #[test]
+    fn peel_lazy_bins_match_naive_simulation() {
+        // Tiny deterministic LCG so no RNG dependency is needed here.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for trial in 0..50 {
+            let n = 3 + (rng() % 40) as usize;
+            let keys: Vec<u32> = (0..n).map(|_| rng() % 12).collect();
+            let mut q = PeelBuckets::new(keys.clone());
+            let mut naive: Vec<Option<u32>> = keys.iter().copied().map(Some).collect();
+            let mut floor = 0u32;
+            for _ in 0..n {
+                // a few random valid decrements between pops
+                for _ in 0..(rng() % 4) {
+                    let x = rng() % n as u32;
+                    if !q.is_popped(x) && q.key(x) > floor {
+                        q.decrement(x);
+                        *naive[x as usize].as_mut().unwrap() -= 1;
+                    }
+                }
+                let (x, k) = q.pop_min().expect("element left");
+                floor = k;
+                let min_naive = naive.iter().flatten().min().copied().unwrap();
+                assert_eq!(k, min_naive, "trial {trial}: popped key vs naive min");
+                assert_eq!(naive[x as usize], Some(k), "trial {trial}: popped key");
+                naive[x as usize] = None;
+                assert!(q.is_popped(x));
+            }
+            assert!(q.pop_min().is_none());
+        }
+    }
+
     #[test]
     fn max_buckets_pop_highest_first() {
         let mut q = MaxBuckets::new(10);
@@ -281,6 +385,33 @@ mod tests {
         assert_eq!(q.pop_max().unwrap(), (1, 3));
         assert_eq!(q.pop_max().unwrap(), (4, 0));
         assert!(q.pop_max().is_none());
+    }
+
+    /// The capacity invariant of `MaxBuckets::new` holds in release
+    /// builds: out-of-range priorities saturate to `max_priority`
+    /// instead of indexing out of bounds.
+    #[test]
+    fn max_buckets_priority_saturates_at_capacity() {
+        // the degenerate queue: everything clamps to priority 0
+        let mut q = MaxBuckets::new(0);
+        q.push(7, 5);
+        q.push(8, u32::MAX);
+        q.push(9, 0);
+        assert_eq!(q.len(), 3);
+        let mut popped = vec![];
+        while let Some((x, p)) = q.pop_max() {
+            assert_eq!(p, 0);
+            popped.push(x);
+        }
+        popped.sort_unstable();
+        assert_eq!(popped, vec![7, 8, 9]);
+
+        // clamped pushes land in the top bucket and pop first
+        let mut q = MaxBuckets::new(2);
+        q.push(1, 1);
+        q.push(2, 99); // clamps to 2
+        assert_eq!(q.pop_max().unwrap(), (2, 2));
+        assert_eq!(q.pop_max().unwrap(), (1, 1));
     }
 
     #[test]
