@@ -1,0 +1,85 @@
+//! Fresh-per-algorithm vs prepared-reuse across hierarchy algorithms.
+//!
+//! The comparison workloads of the paper (Tables 4/5) run several
+//! algorithms over one graph; the one-shot `decompose` re-enumerates
+//! the space's cliques and rebuilds the container index for every call,
+//! while a `Prepared` session pays for them once. For each graph
+//! (Erdős–Rényi, Barabási–Albert, R-MAT), each of the (2,3) and (3,4)
+//! families, and each of {Naive, DFT, FND}, three costs are measured:
+//!
+//! * `prepare/…` — the one-time session construction (clique
+//!   enumeration + ω counts + container index) that reuse amortizes;
+//! * `fresh/<algo>/…` — a full `decompose` call, rebuilding everything;
+//! * `prepared/<algo>/…` — `Prepared::run(algo)` on a session built
+//!   outside the timed region — what the second and every later
+//!   algorithm actually costs.
+//!
+//! Both paths produce bit-identical hierarchies (pinned by the
+//! session-equivalence proptests). JSON results land in
+//! `results/BENCH_prepared_reuse_*.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nucleus_core::decompose::{decompose, Algorithm, Kind};
+use nucleus_core::session::Nucleus;
+use nucleus_graph::CsrGraph;
+
+/// Deterministic inputs, smallest to largest (by edge count); the same
+/// set `bench_backend` measures.
+fn inputs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        (
+            "rmat-s11",
+            nucleus_gen::rmat::rmat(11, 8, nucleus_gen::rmat::RmatParams::skewed(), 7),
+        ),
+        ("er-n3000", nucleus_gen::er::gnp(3000, 0.01, 7)),
+        ("ba-n20000", nucleus_gen::ba::barabasi_albert(20_000, 6, 7)),
+    ]
+}
+
+/// The algorithms a comparison workload runs back to back.
+const ALGOS: [Algorithm; 3] = [Algorithm::Naive, Algorithm::Dft, Algorithm::Fnd];
+
+fn bench_kind(c: &mut Criterion, kind: Kind, group_name: &str) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for (name, g) in &inputs() {
+        group.bench_with_input(BenchmarkId::new("prepare", name), g, |b, g| {
+            b.iter(|| Nucleus::builder(g).kind(kind).prepare().unwrap().cells());
+        });
+        let prepared = Nucleus::builder(g).kind(kind).prepare().unwrap();
+        for algo in ALGOS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("fresh/{algo}"), name),
+                g,
+                |b, g| {
+                    b.iter(|| decompose(g, kind, algo).unwrap().hierarchy.nucleus_count());
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("prepared/{algo}"), name),
+                &prepared,
+                |b, p| {
+                    b.iter(|| p.run(algo).unwrap().hierarchy.nucleus_count());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_prepared_reuse_truss(c: &mut Criterion) {
+    bench_kind(c, Kind::Truss, "prepared_reuse_truss");
+}
+
+fn bench_prepared_reuse_nucleus34(c: &mut Criterion) {
+    bench_kind(c, Kind::Nucleus34, "prepared_reuse_nucleus34");
+}
+
+criterion_group!(
+    benches,
+    bench_prepared_reuse_truss,
+    bench_prepared_reuse_nucleus34
+);
+criterion_main!(benches);

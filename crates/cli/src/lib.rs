@@ -30,6 +30,9 @@ pub struct Args {
 }
 
 impl Args {
+    /// Flags that take no value: their presence means `"true"`.
+    const BOOL_FLAGS: &'static [&'static str] = &["explain"];
+
     /// Parses from an argv-style iterator (without the program name).
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
         let mut it = argv.into_iter();
@@ -39,10 +42,19 @@ impl Args {
             let name = tok
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {tok:?}"))?;
+            if Self::BOOL_FLAGS.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.insert(name.to_string(), value);
         }
         Ok(Args { command, flags })
+    }
+
+    /// Presence of a boolean flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     /// Required flag.
@@ -73,9 +85,11 @@ nucleus — dense-subgraph hierarchies (Sariyuce & Pinar, VLDB 2016)
 
 USAGE:
   nucleus generate  --model <er|ba|hk|rmat|ws|planted|cliques|karate> [model flags] --out FILE
-  nucleus decompose --input FILE --kind <core|truss|nucleus34>
-                    [--algo <fnd|dft|naive|lcps>] [--backend <auto|lazy|materialized>]
-                    [--engine <auto|serial|frontier>] [--threads N]
+  nucleus decompose --input FILE
+                    --kind <core|vertex-triangle|truss|edge-k4|nucleus34>
+                           (or the (r,s) pair: 1,2 | 1,3 | 2,3 | 2,4 | 3,4)
+                    [--algo <naive|dft|fnd|lcps>] [--backend <auto|lazy|materialized>]
+                    [--engine <auto|serial|frontier>] [--threads N] [--explain]
                     [--json FILE] [--dot FILE] [--depth N]
   nucleus stats     --input FILE
   nucleus query     --input FILE --u U --v V --k K
@@ -84,6 +98,7 @@ generate flags: --n N --m M --p P --seed S --blocks B --block-size Z
 examples:
   nucleus generate --model ba --n 10000 --m 5 --out web.txt
   nucleus decompose --input web.txt --kind truss --algo fnd --depth 3
+  nucleus decompose --input web.txt --kind 2,4 --explain
 ";
 
 /// Runs the CLI; returns the process exit code.
@@ -149,55 +164,47 @@ fn cmd_generate<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     Ok(())
 }
 
+// Spelling → value parsing lives in nucleus-core (`Kind::parse` & co.),
+// so the accepted sets — and the error messages enumerating them — have
+// one home and can never drift from what the library supports.
+
 fn parse_kind(s: &str) -> Result<Kind, String> {
-    match s {
-        "core" | "1,2" => Ok(Kind::Core),
-        "truss" | "2,3" => Ok(Kind::Truss),
-        "nucleus34" | "3,4" => Ok(Kind::Nucleus34),
-        other => Err(format!("unknown kind {other:?} (core|truss|nucleus34)")),
-    }
+    Kind::parse(s).map_err(|e| e.to_string())
 }
 
 fn parse_algo(s: &str) -> Result<Algorithm, String> {
-    match s {
-        "fnd" => Ok(Algorithm::Fnd),
-        "dft" => Ok(Algorithm::Dft),
-        "naive" => Ok(Algorithm::Naive),
-        "lcps" => Ok(Algorithm::Lcps),
-        other => Err(format!("unknown algorithm {other:?} (fnd|dft|naive|lcps)")),
-    }
+    Algorithm::parse(s).map_err(|e| e.to_string())
 }
 
 fn parse_engine(s: &str) -> Result<PeelEngine, String> {
-    match s {
-        "auto" => Ok(PeelEngine::Auto),
-        "serial" => Ok(PeelEngine::Serial),
-        "frontier" => Ok(PeelEngine::Frontier),
-        other => Err(format!("unknown engine {other:?} (auto|serial|frontier)")),
-    }
+    PeelEngine::parse(s).map_err(|e| e.to_string())
 }
 
 fn parse_backend(s: &str) -> Result<Backend, String> {
-    match s {
-        "auto" => Ok(Backend::Auto),
-        "lazy" => Ok(Backend::Lazy),
-        "materialized" => Ok(Backend::Materialized),
-        other => Err(format!(
-            "unknown backend {other:?} (auto|lazy|materialized)"
-        )),
-    }
+    Backend::parse(s).map_err(|e| e.to_string())
 }
 
 fn cmd_decompose<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let g = load_graph(args)?;
     let kind = parse_kind(args.need("kind")?)?;
     let algo = parse_algo(args.get_or("algo", "fnd"))?;
-    let options = DecomposeOptions {
-        backend: parse_backend(args.get_or("backend", "auto"))?,
-        engine: parse_engine(args.get_or("engine", "auto"))?,
-        threads: args.num("threads", 0usize)?,
-    };
-    let d = decompose_with(&g, kind, algo, options).map_err(|e| e.to_string())?;
+    let backend = parse_backend(args.get_or("backend", "auto"))?;
+    let engine = parse_engine(args.get_or("engine", "auto"))?;
+    // Reject contradictory combinations before `prepare` spends time on
+    // clique enumeration / index construction the run could never use.
+    nucleus_core::plan::validate(kind, algo, backend, engine).map_err(|e| e.to_string())?;
+    let prepared = Nucleus::builder(&g)
+        .kind(kind)
+        .backend(backend)
+        .engine(engine)
+        .threads(args.num("threads", 0usize)?)
+        .prepare()
+        .map_err(|e| e.to_string())?;
+    if args.flag("explain") {
+        let plan = prepared.plan(algo).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "{}", plan.explain());
+    }
+    let d = prepared.run(algo).map_err(|e| e.to_string())?;
     let _ = writeln!(out, "{}", describe(&d));
     let depth: usize = args.num("depth", 3usize)?;
     let _ = write!(out, "{}", render_tree(&d.hierarchy, depth, 12));
@@ -491,6 +498,35 @@ mod tests {
             "bogus",
         ])
         .is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decompose_all_five_kinds_with_explain() {
+        let path = tmp("five-kinds.txt");
+        run_to_string(&["generate", "--model", "karate", "--out", &path]).unwrap();
+        for (name, rs) in [
+            ("core", "(1,2)"),
+            ("vertex-triangle", "(1,3)"),
+            ("truss", "(2,3)"),
+            ("edge-k4", "(2,4)"),
+            ("nucleus34", "(3,4)"),
+        ] {
+            let out = run_to_string(&["decompose", "--input", &path, "--kind", name, "--explain"])
+                .unwrap();
+            assert!(out.contains("plan:"), "{name}: {out}");
+            assert!(out.contains(rs), "{name}: {out}");
+            assert!(out.contains("backend:"), "{name}: {out}");
+        }
+        // the bare (r,s) spellings select the same families
+        let by_name = run_to_string(&["decompose", "--input", &path, "--kind", "edge-k4"]).unwrap();
+        let by_rs = run_to_string(&["decompose", "--input", &path, "--kind", "2,4"]).unwrap();
+        let tree = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(tree(&by_name), tree(&by_rs));
+        // unknown kinds enumerate the real set
+        let err = run_to_string(&["decompose", "--input", &path, "--kind", "bogus"]).unwrap_err();
+        assert!(err.contains("vertex-triangle"), "{err}");
+        assert!(err.contains("edge-k4"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,29 +1,38 @@
-//! High-level decomposition API: pick a space and an algorithm, get a
-//! hierarchy plus phase timings and statistics.
+//! The one-shot decomposition API: pick a family and an algorithm, get
+//! a hierarchy plus phase timings and statistics.
+//!
+//! Since the prepared-pipeline redesign, [`decompose`] and
+//! [`decompose_with`] are thin wrappers over
+//! [`crate::session::Nucleus`]: they prepare a space, run once, and
+//! drop it. Callers that run *several* algorithms (or repeated queries)
+//! over one graph should hold a [`crate::session::Prepared`] instead —
+//! same results, bit for bit, without re-enumerating cliques and
+//! rebuilding the container index per call.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use nucleus_graph::CsrGraph;
 
-use crate::algo::dft::dft;
-use crate::algo::fnd::fnd;
-use crate::algo::hypo::hypo_sweep;
-use crate::algo::lcps::lcps;
-use crate::algo::naive::naive;
 use crate::error::CoreError;
 use crate::hierarchy::Hierarchy;
-use crate::peel::{peel, peel_parallel_with, FrontierOptions, Peeling};
-use crate::space::{
-    ContainerIndex, EdgeSpace, MaterializedSpace, PeelSpace, TriangleSpace, VertexSpace,
-};
+use crate::peel::Peeling;
+use crate::plan;
+use crate::session::Nucleus;
+use crate::space::{ContainerIndex, PeelSpace};
 
-/// Which decomposition family to run.
+/// Which decomposition family to run — all five (r, s) instances of the
+/// paper's generic framework, in (r, s)-lexicographic order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Kind {
     /// (1,2): k-core.
     Core,
+    /// (1,3): vertex-triangle cores (vertices peeled by triangle count).
+    VertexTriangle,
     /// (2,3): k-truss community.
     Truss,
+    /// (2,4): edges peeled by four-clique count (the paper's Figure 1
+    /// contrast instance).
+    EdgeK4,
     /// (3,4): four-clique nuclei.
     Nucleus34,
 }
@@ -33,14 +42,55 @@ impl Kind {
     pub fn rs(self) -> (u32, u32) {
         match self {
             Kind::Core => (1, 2),
+            Kind::VertexTriangle => (1, 3),
             Kind::Truss => (2, 3),
+            Kind::EdgeK4 => (2, 4),
             Kind::Nucleus34 => (3, 4),
         }
     }
 
-    /// All families, in paper order.
-    pub fn all() -> [Kind; 3] {
-        [Kind::Core, Kind::Truss, Kind::Nucleus34]
+    /// All five families, in (r, s)-lexicographic order.
+    pub fn all() -> [Kind; 5] {
+        [
+            Kind::Core,
+            Kind::VertexTriangle,
+            Kind::Truss,
+            Kind::EdgeK4,
+            Kind::Nucleus34,
+        ]
+    }
+
+    /// Stable lowercase name, also the CLI spelling (`--kind core`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Core => "core",
+            Kind::VertexTriangle => "vertex-triangle",
+            Kind::Truss => "truss",
+            Kind::EdgeK4 => "edge-k4",
+            Kind::Nucleus34 => "nucleus34",
+        }
+    }
+
+    /// Parses a [`Kind::name`] spelling or a bare `"r,s"` pair
+    /// (`"vertex-triangle"` and `"1,3"` are equivalent). The error
+    /// enumerates every accepted spelling.
+    pub fn parse(token: &str) -> Result<Kind, CoreError> {
+        Kind::all()
+            .into_iter()
+            .find(|k| {
+                let (r, s) = k.rs();
+                token == k.name() || token == format!("{r},{s}")
+            })
+            .ok_or_else(|| CoreError::UnknownName {
+                what: "kind",
+                token: token.to_string(),
+                expected: Kind::all()
+                    .map(|k| {
+                        let (r, s) = k.rs();
+                        format!("{}|{r},{s}", k.name())
+                    })
+                    .join(", "),
+            })
     }
 }
 
@@ -65,7 +115,15 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    /// All algorithms applicable to `kind`.
+    /// Every algorithm, in presentation order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Naive,
+        Algorithm::Dft,
+        Algorithm::Fnd,
+        Algorithm::Lcps,
+    ];
+
+    /// All algorithms applicable to `kind` (LCPS is k-core only).
     pub fn for_kind(kind: Kind) -> &'static [Algorithm] {
         match kind {
             Kind::Core => &[
@@ -76,6 +134,29 @@ impl Algorithm {
             ],
             _ => &[Algorithm::Naive, Algorithm::Dft, Algorithm::Fnd],
         }
+    }
+
+    /// Stable lowercase name, also the CLI spelling (`--algo fnd`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Naive => "naive",
+            Algorithm::Dft => "dft",
+            Algorithm::Fnd => "fnd",
+            Algorithm::Lcps => "lcps",
+        }
+    }
+
+    /// Parses an [`Algorithm::name`] spelling; the error enumerates
+    /// every accepted one.
+    pub fn parse(token: &str) -> Result<Algorithm, CoreError> {
+        Algorithm::ALL
+            .into_iter()
+            .find(|a| token == a.name())
+            .ok_or_else(|| CoreError::UnknownName {
+                what: "algorithm",
+                token: token.to_string(),
+                expected: Algorithm::ALL.map(|a| a.name()).join("|"),
+            })
     }
 }
 
@@ -119,11 +200,25 @@ impl Backend {
     /// The single home of the policy: `Lazy` never materializes,
     /// `Materialized` always does, `Auto` iff the estimated index fits
     /// [`Backend::AUTO_BYTE_CAP`]. `estimate` is only invoked for `Auto`.
-    fn wants_index(self, estimate: impl FnOnce() -> usize) -> bool {
+    pub(crate) fn wants_index(self, estimate: impl FnOnce() -> usize) -> bool {
         match self {
             Backend::Lazy => false,
             Backend::Materialized => true,
             Backend::Auto => estimate() <= Self::AUTO_BYTE_CAP,
+        }
+    }
+
+    /// Parses a CLI spelling (`auto|lazy|materialized`).
+    pub fn parse(token: &str) -> Result<Backend, CoreError> {
+        match token {
+            "auto" => Ok(Backend::Auto),
+            "lazy" => Ok(Backend::Lazy),
+            "materialized" => Ok(Backend::Materialized),
+            other => Err(CoreError::UnknownName {
+                what: "backend",
+                token: other.to_string(),
+                expected: "auto|lazy|materialized".to_string(),
+            }),
         }
     }
 }
@@ -164,13 +259,18 @@ pub enum PeelEngine {
 
 impl PeelEngine {
     /// Whether the engine/algorithm pair is expressible at all.
-    fn supports(self, algorithm: Algorithm) -> bool {
+    pub(crate) fn supports(self, algorithm: Algorithm) -> bool {
         self != PeelEngine::Frontier || matches!(algorithm, Algorithm::Naive | Algorithm::Dft)
     }
 
     /// Resolves `Auto` for a concrete run. `materialized` is the
     /// already-resolved backend decision.
-    fn resolve(self, algorithm: Algorithm, materialized: bool, threads: usize) -> PeelEngine {
+    pub(crate) fn resolve(
+        self,
+        algorithm: Algorithm,
+        materialized: bool,
+        threads: usize,
+    ) -> PeelEngine {
         match self {
             PeelEngine::Auto => {
                 if materialized
@@ -183,6 +283,20 @@ impl PeelEngine {
                 }
             }
             explicit => explicit,
+        }
+    }
+
+    /// Parses a CLI spelling (`auto|serial|frontier`).
+    pub fn parse(token: &str) -> Result<PeelEngine, CoreError> {
+        match token {
+            "auto" => Ok(PeelEngine::Auto),
+            "serial" => Ok(PeelEngine::Serial),
+            "frontier" => Ok(PeelEngine::Frontier),
+            other => Err(CoreError::UnknownName {
+                what: "engine",
+                token: other.to_string(),
+                expected: "auto|serial|frontier".to_string(),
+            }),
         }
     }
 }
@@ -306,6 +420,10 @@ pub fn decompose(
 /// accounted to the peeling phase, like clique enumeration. LCPS walks
 /// the graph directly and ignores the backend choice.
 ///
+/// This is a thin wrapper: it prepares a [`crate::session::Prepared`]
+/// for `g` and runs it exactly once, producing bit-identical results to
+/// the prepared pipeline (and to the pre-session implementation).
+///
 /// # Errors
 /// * [`CoreError::UnsupportedAlgorithm`] when `algorithm` is
 ///   [`Algorithm::Lcps`] and `kind` is not [`Kind::Core`];
@@ -319,210 +437,25 @@ pub fn decompose_with(
     algorithm: Algorithm,
     options: DecomposeOptions,
 ) -> Result<Decomposition, CoreError> {
-    if !options.engine.supports(algorithm) {
-        return Err(CoreError::InvalidOptions {
-            reason: format!(
-                "the frontier peeling engine cannot drive {algorithm}: it only applies to \
-                 algorithms that consume a finished peeling (Naive, DFT)"
-            ),
-        });
-    }
-    if options.engine == PeelEngine::Frontier && options.backend == Backend::Lazy {
-        return Err(CoreError::InvalidOptions {
-            reason: "the frontier peeling engine needs O(1) repeated container access; \
-                     use the materialized (or auto) backend"
-                .to_string(),
-        });
-    }
-    match kind {
-        Kind::Core => {
-            if algorithm == Algorithm::Lcps {
-                let t0 = Instant::now();
-                let space = VertexSpace::new(g);
-                let peeling = peel(&space);
-                let peel_t = t0.elapsed();
-                let t1 = Instant::now();
-                let hierarchy = lcps(g, &peeling);
-                let post_t = t1.elapsed();
-                return Ok(Decomposition {
-                    kind,
-                    algorithm,
-                    backend: Backend::Lazy,
-                    engine: PeelEngine::Serial,
-                    stats: SkeletonStats {
-                        subnuclei: hierarchy.nucleus_count(),
-                        adj_connections: 0,
-                    },
-                    peeling,
-                    hierarchy,
-                    times: PhaseTimes {
-                        peel: peel_t,
-                        post: post_t,
-                    },
-                });
-            }
-            run_generic(g, kind, algorithm, options, VertexSpace::new)
-        }
-        Kind::Truss => run_generic(g, kind, algorithm, options, EdgeSpace::new),
-        Kind::Nucleus34 => run_generic(g, kind, algorithm, options, |g| {
-            TriangleSpace::with_threads(g, options.effective_threads())
-        }),
-    }
-}
-
-fn run_generic<'g, S, F>(
-    g: &'g CsrGraph,
-    kind: Kind,
-    algorithm: Algorithm,
-    options: DecomposeOptions,
-    make_space: F,
-) -> Result<Decomposition, CoreError>
-where
-    S: PeelSpace + Sync,
-    F: FnOnce(&'g CsrGraph) -> S,
-{
-    if algorithm == Algorithm::Lcps {
-        return Err(CoreError::UnsupportedAlgorithm {
-            algorithm: "LCPS",
-            kind: format!("{kind}"),
-        });
-    }
-    let t0 = Instant::now();
-    let space = make_space(g);
-    let threads = options.effective_threads();
-    if let Some(counts) = resolve_counts(options.backend, options.engine, &space) {
-        let mspace = MaterializedSpace::with_counts(&space, counts, threads);
-        let engine = options
-            .engine
-            .resolve(algorithm, /* materialized */ true, threads);
-        run_on_backend(
-            &mspace,
-            t0.elapsed(),
-            kind,
-            algorithm,
-            Backend::Materialized,
-            engine,
-            threads,
-        )
+    // Validate up front (not at `run`) so the constraint-check order —
+    // and therefore which error a doubly-invalid request reports — is
+    // exactly the pre-session one.
+    plan::validate(kind, algorithm, options.backend, options.engine)?;
+    // LCPS ignores the backend (it walks the graph directly): prepare
+    // lazily, as the single-shot path always has, so no index is built
+    // only to be bypassed.
+    let backend = if algorithm == Algorithm::Lcps {
+        Backend::Lazy
     } else {
-        let engine = options
-            .engine
-            .resolve(algorithm, /* materialized */ false, threads);
-        debug_assert_eq!(engine, PeelEngine::Serial, "frontier needs the index");
-        run_on_backend(
-            &space,
-            t0.elapsed(),
-            kind,
-            algorithm,
-            Backend::Lazy,
-            engine,
-            threads,
-        )
-    }
-}
-
-/// Resolves a backend choice with at most one ω clone: `Some(counts)`
-/// means materialize (the counts feed straight into the index build),
-/// `None` means stay lazy. An explicit frontier-engine request forces
-/// materialization (the engine is defined over the flat index), even
-/// past the `Auto` size cap.
-fn resolve_counts<S: PeelSpace>(
-    backend: Backend,
-    engine: PeelEngine,
-    space: &S,
-) -> Option<Vec<u32>> {
-    if engine == PeelEngine::Frontier {
-        // backend == Lazy was rejected up front in decompose_with
-        return Some(space.degrees());
-    }
-    if backend == Backend::Lazy {
-        return None;
-    }
-    let counts = space.degrees();
-    backend
-        .wants_index(|| ContainerIndex::estimate_bytes_from(space.r(), space.s(), &counts))
-        .then_some(counts)
-}
-
-/// The algorithm dispatch, monomorphized once per space *and* backend
-/// (`build_t` covers space construction plus, when materialized, the
-/// index build). `engine` must already be resolved (never `Auto`).
-fn run_on_backend<S: PeelSpace + Sync>(
-    space: &S,
-    build_t: Duration,
-    kind: Kind,
-    algorithm: Algorithm,
-    backend: Backend,
-    engine: PeelEngine,
-    threads: usize,
-) -> Result<Decomposition, CoreError> {
-    match algorithm {
-        // run_generic rejects LCPS before dispatching to a backend.
-        Algorithm::Lcps => unreachable!("LCPS never reaches backend dispatch"),
-        Algorithm::Fnd => {
-            debug_assert_eq!(engine, PeelEngine::Serial, "FND is order-sequential");
-            let out = fnd(space);
-            Ok(Decomposition {
-                kind,
-                algorithm,
-                backend,
-                engine: PeelEngine::Serial,
-                peeling: out.peeling,
-                hierarchy: out.hierarchy,
-                times: PhaseTimes {
-                    peel: build_t + out.peel_time,
-                    post: out.post_time,
-                },
-                stats: SkeletonStats {
-                    subnuclei: out.stats.subnuclei,
-                    adj_connections: out.stats.adj_connections,
-                },
-            })
-        }
-        Algorithm::Naive | Algorithm::Dft => {
-            let t0 = Instant::now();
-            let peeling = match engine {
-                PeelEngine::Frontier => peel_parallel_with(
-                    space,
-                    FrontierOptions {
-                        threads,
-                        ..FrontierOptions::default()
-                    },
-                ),
-                _ => peel(space),
-            };
-            let peel_t = build_t + t0.elapsed();
-            let t1 = Instant::now();
-            let (hierarchy, subnuclei) = match algorithm {
-                Algorithm::Naive => {
-                    let h = naive(space, &peeling);
-                    let c = h.nucleus_count();
-                    (h, c)
-                }
-                _ => {
-                    let (h, st) = dft(space, &peeling);
-                    (h, st.subnuclei)
-                }
-            };
-            let post_t = t1.elapsed();
-            Ok(Decomposition {
-                kind,
-                algorithm,
-                backend,
-                engine,
-                peeling,
-                hierarchy,
-                times: PhaseTimes {
-                    peel: peel_t,
-                    post: post_t,
-                },
-                stats: SkeletonStats {
-                    subnuclei,
-                    adj_connections: 0,
-                },
-            })
-        }
-    }
+        options.backend
+    };
+    Nucleus::builder(g)
+        .kind(kind)
+        .backend(backend)
+        .engine(options.engine)
+        .threads(options.threads)
+        .prepare()?
+        .run(algorithm)
 }
 
 /// Runs the *Hypo* baseline for `kind` with default options: peeling
@@ -543,47 +476,22 @@ pub fn hypo_baseline_with(
     kind: Kind,
     options: DecomposeOptions,
 ) -> (PhaseTimes, usize) {
-    fn run<B: crate::space::PeelBackend>(space: &B, build_t: Duration) -> (PhaseTimes, usize) {
-        let t0 = Instant::now();
-        let _ = peel(space);
-        let peel_t = build_t + t0.elapsed();
-        let t1 = Instant::now();
-        let comps = hypo_sweep(space);
-        (
-            PhaseTimes {
-                peel: peel_t,
-                post: t1.elapsed(),
-            },
-            comps,
-        )
-    }
-    fn dispatch<S: PeelSpace + Sync>(
-        space: &S,
-        t0: Instant,
-        options: DecomposeOptions,
-    ) -> (PhaseTimes, usize) {
-        if let Some(counts) = resolve_counts(options.backend, PeelEngine::Serial, space) {
-            let m = MaterializedSpace::with_counts(space, counts, options.effective_threads());
-            run(&m, t0.elapsed())
-        } else {
-            run(space, t0.elapsed())
-        }
-    }
-    let t = Instant::now();
-    match kind {
-        Kind::Core => dispatch(&VertexSpace::new(g), t, options),
-        Kind::Truss => dispatch(&EdgeSpace::new(g), t, options),
-        Kind::Nucleus34 => dispatch(
-            &TriangleSpace::with_threads(g, options.effective_threads()),
-            t,
-            options,
-        ),
-    }
+    Nucleus::builder(g)
+        .kind(kind)
+        .backend(options.backend)
+        // the baseline never uses the frontier engine, and `Serial`
+        // composes with every backend, so `prepare` cannot fail
+        .engine(PeelEngine::Serial)
+        .threads(options.threads)
+        .prepare()
+        .expect("serial engine composes with every backend")
+        .hypo_baseline()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::space::VertexSpace;
     use crate::test_graphs;
 
     #[test]
@@ -809,9 +717,55 @@ mod tests {
     #[test]
     fn kind_display_and_rs() {
         assert_eq!(Kind::Core.rs(), (1, 2));
+        assert_eq!(Kind::VertexTriangle.rs(), (1, 3));
+        assert_eq!(Kind::EdgeK4.rs(), (2, 4));
         assert_eq!(format!("{}", Kind::Truss), "(2,3)");
+        assert_eq!(format!("{}", Kind::VertexTriangle), "(1,3)");
+        assert_eq!(format!("{}", Kind::EdgeK4), "(2,4)");
         assert_eq!(format!("{}", Algorithm::Fnd), "FND");
         assert_eq!(Algorithm::for_kind(Kind::Core).len(), 4);
         assert_eq!(Algorithm::for_kind(Kind::Nucleus34).len(), 3);
+        assert_eq!(Algorithm::for_kind(Kind::VertexTriangle).len(), 3);
+        assert_eq!(Algorithm::for_kind(Kind::EdgeK4).len(), 3);
+        assert_eq!(Kind::all().len(), 5);
+    }
+
+    #[test]
+    fn kind_and_algorithm_parsing() {
+        // every kind round-trips through both spellings
+        for kind in Kind::all() {
+            assert_eq!(Kind::parse(kind.name()).unwrap(), kind);
+            let (r, s) = kind.rs();
+            assert_eq!(Kind::parse(&format!("{r},{s}")).unwrap(), kind);
+        }
+        assert_eq!(
+            Kind::parse("vertex-triangle").unwrap(),
+            Kind::VertexTriangle
+        );
+        assert_eq!(Kind::parse("2,4").unwrap(), Kind::EdgeK4);
+        // the error lists the full, current set of spellings
+        let err = Kind::parse("bogus").unwrap_err();
+        let msg = format!("{err}");
+        for kind in Kind::all() {
+            assert!(msg.contains(kind.name()), "{msg}");
+        }
+        assert!(msg.contains("1,3") && msg.contains("2,4"), "{msg}");
+        // algorithms
+        for algo in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(algo.name()).unwrap(), algo);
+        }
+        let err = Algorithm::parse("bogus").unwrap_err();
+        let msg = format!("{err}");
+        for algo in Algorithm::ALL {
+            assert!(msg.contains(algo.name()), "{msg}");
+        }
+        // backend / engine spellings
+        assert_eq!(
+            Backend::parse("materialized").unwrap(),
+            Backend::Materialized
+        );
+        assert!(Backend::parse("bogus").is_err());
+        assert_eq!(PeelEngine::parse("frontier").unwrap(), PeelEngine::Frontier);
+        assert!(PeelEngine::parse("bogus").is_err());
     }
 }

@@ -21,6 +21,18 @@ pub enum CoreError {
         /// Human-readable explanation of the conflict.
         reason: String,
     },
+    /// A textual token (typically a CLI argument) named no known kind,
+    /// algorithm, backend or engine. Produced by the `parse` associated
+    /// functions on those types; `expected` enumerates the actual
+    /// accepted spellings, so the message never goes stale.
+    UnknownName {
+        /// What was being parsed: `"kind"`, `"algorithm"`, …
+        what: &'static str,
+        /// The offending token.
+        token: String,
+        /// Rendered list of accepted spellings.
+        expected: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +43,13 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidOptions { reason } => {
                 write!(f, "invalid decompose options: {reason}")
+            }
+            CoreError::UnknownName {
+                what,
+                token,
+                expected,
+            } => {
+                write!(f, "unknown {what} {token:?} (expected one of: {expected})")
             }
         }
     }

@@ -45,7 +45,9 @@ pub mod export;
 pub mod hierarchy;
 pub mod maintenance;
 pub mod peel;
+pub mod plan;
 pub mod report;
+pub mod session;
 pub mod skeleton;
 pub mod space;
 pub mod validate;
@@ -61,6 +63,8 @@ pub use decompose::{
 pub use error::CoreError;
 pub use hierarchy::{Hierarchy, HierarchyNode};
 pub use peel::{peel, peel_parallel, peel_parallel_with, FrontierOptions, Peeling};
+pub use plan::Plan;
+pub use session::{Nucleus, NucleusBuilder, Prepared};
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -76,10 +80,12 @@ pub mod prelude {
     pub use crate::hierarchy::{Hierarchy, HierarchyNode};
     pub use crate::maintenance::DynamicCores;
     pub use crate::peel::{peel, peel_parallel, peel_parallel_with, FrontierOptions, Peeling};
+    pub use crate::plan::Plan;
     pub use crate::report::{describe, nucleus_vertices, render_tree, summarize_nucleus};
+    pub use crate::session::{Nucleus, NucleusBuilder, Prepared};
     pub use crate::space::{
-        ContainerIndex, EdgeK4Space, EdgeSpace, MaterializedSpace, PeelBackend, PeelCells,
-        PeelSpace, TriangleSpace, VertexSpace, VertexTriangleSpace,
+        ContainerIndex, EdgeK4Space, EdgeSpace, IndexedSpace, MaterializedSpace, PeelBackend,
+        PeelCells, PeelSpace, TriangleSpace, VertexSpace, VertexTriangleSpace,
     };
     pub use crate::weighted::{weighted_core_decomposition, weighted_core_numbers};
 }

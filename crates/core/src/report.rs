@@ -160,6 +160,20 @@ mod tests {
     }
 
     #[test]
+    fn describe_tags_all_five_kinds() {
+        // the one-line description leads with the (r,s) tag for every
+        // family, including the session-era (1,3) and (2,4) ones
+        let g = test_graphs::nested_cores();
+        for kind in Kind::all() {
+            let d = decompose(&g, kind, Algorithm::Fnd).unwrap();
+            let (r, s) = kind.rs();
+            let line = describe(&d);
+            assert!(line.starts_with(&format!("({r},{s})")), "{kind}: {line}");
+            assert!(line.contains("FND"), "{kind}: {line}");
+        }
+    }
+
+    #[test]
     fn tree_rendering_truncates() {
         let g = test_graphs::nested_cores();
         let d = decompose(&g, Kind::Core, Algorithm::Dft).unwrap();

@@ -1,0 +1,738 @@
+//! The prepared-pipeline API: build a peeling space **once**, then run
+//! any number of hierarchy algorithms (and baselines) over it.
+//!
+//! The paper's framework is generic in two orthogonal directions — the
+//! (r, s) family and the hierarchy algorithm — and the expensive part
+//! of a run is almost never the algorithm: it is enumerating the
+//! cliques behind the space (triangles for (2,3)/(1,3), four-cliques
+//! for (3,4)/(2,4)) and, on materialized runs, building the
+//! [`ContainerIndex`]. The one-shot [`crate::decompose::decompose`]
+//! rebuilds all of that per call; a serving system that answers many
+//! queries — or a comparison workload that runs Naive, DFT *and* FND on
+//! one graph — should pay for it once:
+//!
+//! ```
+//! use nucleus_core::prelude::*;
+//!
+//! let g = nucleus_graph::CsrGraph::from_edges(
+//!     5,
+//!     &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)],
+//! );
+//! let prepared = Nucleus::builder(&g).kind(Kind::Truss).prepare()?;
+//! println!("{}", prepared.plan(Algorithm::Dft)?.explain());
+//! let dft = prepared.run(Algorithm::Dft)?; // reuses the cached space
+//! let fnd = prepared.run(Algorithm::Fnd)?; // ... and again
+//! assert_eq!(dft.hierarchy, fnd.hierarchy);
+//! # Ok::<(), nucleus_core::CoreError>(())
+//! ```
+//!
+//! # Stages
+//!
+//! 1. **[`Nucleus::builder`]** collects the choices of
+//!    [`crate::decompose::DecomposeOptions`] plus the [`Kind`].
+//! 2. **[`NucleusBuilder::prepare`]** does the expensive, run-invariant
+//!    work: builds the space (clique enumeration, ω counts), resolves
+//!    the [`Backend`] policy (including the `Auto` size estimate) and,
+//!    when materialized, builds the [`ContainerIndex`]. It fails fast
+//!    on option combinations that no run could ever satisfy
+//!    (frontier engine × explicit lazy backend).
+//! 3. **[`Prepared::run`]** executes one algorithm over the cached
+//!    space/index — bit-identical to the one-shot API — and can be
+//!    called any number of times; runs never mutate the prepared state.
+//!    [`Prepared::plan`] returns the same decision as a [`Plan`]
+//!    without running, and [`Prepared::hypo_baseline`] runs the Hypo
+//!    baseline over the same cached space.
+//!
+//! Validation is centralized in [`crate::plan::validate`]: the checks
+//! that involve the algorithm (frontier × FND/LCPS, LCPS × non-core)
+//! happen at `plan`/`run` time, since one `Prepared` may serve
+//! different algorithms.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use nucleus_graph::CsrGraph;
+
+use crate::algo::dft::dft;
+use crate::algo::fnd::fnd;
+use crate::algo::hypo::hypo_sweep;
+use crate::algo::lcps::lcps;
+use crate::algo::naive::naive;
+use crate::decompose::{
+    Algorithm, Backend, DecomposeOptions, Decomposition, Kind, PeelEngine, PhaseTimes,
+    SkeletonStats,
+};
+use crate::error::CoreError;
+use crate::peel::{peel, peel_parallel_with, FrontierOptions};
+use crate::plan::{self, format_bytes, Plan};
+use crate::space::{
+    ContainerIndex, EdgeK4Space, EdgeSpace, IndexedSpace, PeelBackend, PeelSpace, TriangleSpace,
+    VertexSpace, VertexTriangleSpace,
+};
+
+/// The five lazy spaces behind one door, so [`Prepared`] can own any of
+/// them by value while the algorithms stay monomorphized per space.
+enum AnySpace<'g> {
+    Vertex(VertexSpace<'g>),
+    VertexTriangle(VertexTriangleSpace<'g>),
+    Edge(EdgeSpace<'g>),
+    EdgeK4(EdgeK4Space<'g>),
+    Triangle(TriangleSpace<'g>),
+}
+
+impl<'g> AnySpace<'g> {
+    fn build(g: &'g CsrGraph, kind: Kind, threads: usize) -> Self {
+        match kind {
+            Kind::Core => AnySpace::Vertex(VertexSpace::new(g)),
+            Kind::VertexTriangle => AnySpace::VertexTriangle(VertexTriangleSpace::new(g)),
+            Kind::Truss => AnySpace::Edge(EdgeSpace::new(g)),
+            Kind::EdgeK4 => AnySpace::EdgeK4(EdgeK4Space::new(g)),
+            Kind::Nucleus34 => AnySpace::Triangle(TriangleSpace::with_threads(g, threads)),
+        }
+    }
+}
+
+/// Dispatches `$body` with `$s` bound to the concrete lazy space.
+/// A macro rather than a visitor so `$body` monomorphizes per space —
+/// the same zero-overhead dispatch the one-shot API had.
+macro_rules! with_space {
+    ($space:expr, $s:ident => $body:expr) => {
+        match &$space {
+            AnySpace::Vertex($s) => $body,
+            AnySpace::VertexTriangle($s) => $body,
+            AnySpace::Edge($s) => $body,
+            AnySpace::EdgeK4($s) => $body,
+            AnySpace::Triangle($s) => $body,
+        }
+    };
+}
+
+/// Entry point of the prepared-pipeline API; see the [module docs]
+/// (self) for the full walkthrough.
+pub struct Nucleus;
+
+impl Nucleus {
+    /// Starts configuring a decomposition session over `g`. Defaults:
+    /// [`Kind::Core`], automatic backend and engine, all CPUs.
+    pub fn builder(g: &CsrGraph) -> NucleusBuilder<'_> {
+        NucleusBuilder {
+            g,
+            kind: Kind::Core,
+            options: DecomposeOptions::default(),
+        }
+    }
+}
+
+/// Builder for a [`Prepared`] session: the same knobs as
+/// [`DecomposeOptions`] plus the [`Kind`], applied fluently.
+#[derive(Clone, Copy, Debug)]
+pub struct NucleusBuilder<'g> {
+    g: &'g CsrGraph,
+    kind: Kind,
+    options: DecomposeOptions,
+}
+
+impl<'g> NucleusBuilder<'g> {
+    /// Selects the (r, s) family (default [`Kind::Core`]).
+    pub fn kind(mut self, kind: Kind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Selects the backend policy (default [`Backend::Auto`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.options.backend = backend;
+        self
+    }
+
+    /// Selects the engine policy (default [`PeelEngine::Auto`]).
+    pub fn engine(mut self, engine: PeelEngine) -> Self {
+        self.options.engine = engine;
+        self
+    }
+
+    /// Caps worker threads (default `0` = all CPUs).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Applies a whole [`DecomposeOptions`] at once (keeps the kind).
+    pub fn options(mut self, options: DecomposeOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Does the run-invariant heavy lifting: builds the space (clique
+    /// enumeration + ω counts), resolves the backend policy, and builds
+    /// the [`ContainerIndex`] when the resolution says materialize.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidOptions`] when [`PeelEngine::Frontier`] was
+    /// combined with an explicit [`Backend::Lazy`] — the one conflict
+    /// that no later `run` could resolve. Algorithm-dependent conflicts
+    /// surface from [`Prepared::run`] / [`Prepared::plan`].
+    pub fn prepare(self) -> Result<Prepared<'g>, CoreError> {
+        let NucleusBuilder { g, kind, options } = self;
+        if options.engine == PeelEngine::Frontier && options.backend == Backend::Lazy {
+            return Err(plan::frontier_lazy_conflict());
+        }
+        let threads = options.effective_threads();
+        let t0 = Instant::now();
+        let space = AnySpace::build(g, kind, threads);
+        let cells = with_space!(space, s => s.cell_count());
+        // Explicit-lazy sessions never touch `degrees()` here: the
+        // one-shot lazy path never did (peeling computes ω itself per
+        // run), so doing it eagerly would double the setup cost the
+        // wrappers promise to preserve. The space facts defer to first
+        // use instead (`Prepared::facts`).
+        let (facts, backend_reason, index) = if options.backend == Backend::Lazy {
+            (OnceLock::new(), "explicitly requested".to_string(), None)
+        } else {
+            with_space!(space, s => {
+                let counts = s.degrees();
+                let containers: u64 = counts.iter().map(|&c| c as u64).sum();
+                let est = ContainerIndex::estimate_bytes_from(s.r(), s.s(), &counts);
+                let (materialize, reason) =
+                    resolve_backend(options.backend, options.engine, est);
+                let index =
+                    materialize.then(|| ContainerIndex::build_with_counts(s, counts, threads));
+                let facts = OnceLock::new();
+                let _ = facts.set((containers, est));
+                (facts, reason, index)
+            })
+        };
+        Ok(Prepared {
+            g,
+            kind,
+            backend: if index.is_some() {
+                Backend::Materialized
+            } else {
+                Backend::Lazy
+            },
+            engine: options.engine,
+            threads,
+            space,
+            index,
+            cells,
+            facts,
+            backend_reason,
+            prep_time: t0.elapsed(),
+        })
+    }
+}
+
+/// Resolves the backend policy into a concrete materialize/lazy
+/// decision plus the human-readable "why" that [`Plan::explain`]
+/// reports. An explicit frontier-engine request forces materialization
+/// (the engine is defined over the flat index), even past the `Auto`
+/// size cap — mirroring the one-shot API.
+fn resolve_backend(backend: Backend, engine: PeelEngine, est_bytes: usize) -> (bool, String) {
+    if engine == PeelEngine::Frontier {
+        return (
+            true,
+            "forced by the frontier engine (defined over the flat index)".to_string(),
+        );
+    }
+    let materialize = backend.wants_index(|| est_bytes);
+    let reason = match backend {
+        Backend::Lazy | Backend::Materialized => "explicitly requested".to_string(),
+        Backend::Auto => {
+            let cap = format_bytes(Backend::AUTO_BYTE_CAP);
+            let est = format_bytes(est_bytes);
+            if materialize {
+                format!("auto: estimated index {est} ≤ {cap} cap")
+            } else {
+                format!("auto: estimated index {est} exceeds the {cap} cap")
+            }
+        }
+    };
+    (materialize, reason)
+}
+
+/// A prepared decomposition session: the space (and, when materialized,
+/// its [`ContainerIndex`]) built once, ready to serve any number of
+/// [`Prepared::run`] calls. Runs never mutate the prepared state, so a
+/// `Prepared` behaves like an immutable snapshot of the graph's
+/// (r, s) structure.
+pub struct Prepared<'g> {
+    g: &'g CsrGraph,
+    kind: Kind,
+    /// Resolved: `Lazy` or `Materialized`, never `Auto`.
+    backend: Backend,
+    /// As requested (possibly `Auto`): the engine resolves per run,
+    /// because it depends on the algorithm.
+    engine: PeelEngine,
+    threads: usize,
+    space: AnySpace<'g>,
+    index: Option<ContainerIndex>,
+    cells: usize,
+    /// `(Σ ω, estimated index bytes)` — filled at prepare time whenever
+    /// the ω counts were computed anyway (auto/materialized sessions),
+    /// deferred to first use on explicit-lazy ones.
+    facts: OnceLock<(u64, usize)>,
+    backend_reason: String,
+    prep_time: Duration,
+}
+
+impl<'g> Prepared<'g> {
+    /// The family this session decomposes.
+    pub fn kind(&self) -> Kind {
+        self.kind
+    }
+
+    /// The resolved backend ([`Backend::Lazy`] or
+    /// [`Backend::Materialized`]).
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Effective worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of cells (K_r's) in the space.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Total containers (Σ ω over all cells). On explicit-lazy
+    /// sessions the first call performs one container enumeration (the
+    /// counts are not kept around otherwise — that is what "lazy"
+    /// means); auto/materialized sessions recorded it during `prepare`.
+    pub fn containers(&self) -> u64 {
+        self.facts().0
+    }
+
+    /// Estimated [`ContainerIndex`] footprint in bytes (allocated only
+    /// on materialized sessions). Same deferral as
+    /// [`Prepared::containers`] on explicit-lazy sessions.
+    pub fn estimated_index_bytes(&self) -> usize {
+        self.facts().1
+    }
+
+    /// `(Σ ω, estimated index bytes)`, computing them on first use for
+    /// explicit-lazy sessions.
+    fn facts(&self) -> (u64, usize) {
+        *self.facts.get_or_init(|| {
+            with_space!(self.space, s => {
+                let counts = s.degrees();
+                let containers: u64 = counts.iter().map(|&c| c as u64).sum();
+                let est = ContainerIndex::estimate_bytes_from(s.r(), s.s(), &counts);
+                (containers, est)
+            })
+        })
+    }
+
+    /// Wall time spent in [`NucleusBuilder::prepare`] (space build, ω
+    /// counts, index build). Every [`Prepared::run`] folds this into
+    /// its reported peel phase, matching the one-shot API's accounting.
+    pub fn prep_time(&self) -> Duration {
+        self.prep_time
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.g
+    }
+
+    /// Resolves — without running — exactly what [`Prepared::run`]
+    /// would do for `algorithm`: the concrete backend/engine, thread
+    /// count, space sizes, and the reasons behind both `Auto`
+    /// decisions.
+    ///
+    /// # Errors
+    /// The same [`crate::plan::validate`] rejections `run` would
+    /// report.
+    pub fn plan(&self, algorithm: Algorithm) -> Result<Plan, CoreError> {
+        let engine = self.resolve_engine(algorithm)?;
+        let materialized = self.index.is_some();
+        let engine_reason = match self.engine {
+            PeelEngine::Serial | PeelEngine::Frontier => "explicitly requested".to_string(),
+            PeelEngine::Auto => {
+                if engine == PeelEngine::Frontier {
+                    format!(
+                        "auto: materialized run, {} threads, {algorithm} consumes a finished \
+                         peeling",
+                        self.threads
+                    )
+                } else if !materialized {
+                    "auto: serial (lazy backend re-enumerates containers per visit)".to_string()
+                } else if self.threads <= 1 {
+                    "auto: serial (single worker thread)".to_string()
+                } else {
+                    // FND interleaves hierarchy construction with the
+                    // pops; LCPS walks the graph directly — either way
+                    // the frontier engine only drives Naive/DFT.
+                    format!(
+                        "auto: serial (the frontier engine only drives Naive/DFT, not {algorithm})"
+                    )
+                }
+            }
+        };
+        Ok(Plan {
+            kind: self.kind,
+            algorithm,
+            backend: self.backend,
+            engine,
+            threads: self.threads,
+            cells: self.cells,
+            containers: self.containers(),
+            index_bytes: self.estimated_index_bytes(),
+            backend_reason: self.backend_reason.clone(),
+            engine_reason,
+        })
+    }
+
+    /// Validates `algorithm` against this session and resolves the
+    /// engine for it — the decision core shared by [`Prepared::plan`]
+    /// and [`Prepared::run`] (the latter skips the [`Plan`] facts,
+    /// which may cost a container enumeration on lazy sessions).
+    fn resolve_engine(&self, algorithm: Algorithm) -> Result<PeelEngine, CoreError> {
+        plan::validate(self.kind, algorithm, self.backend, self.engine)?;
+        Ok(self
+            .engine
+            .resolve(algorithm, self.index.is_some(), self.threads))
+    }
+
+    /// Runs one algorithm over the cached space, producing the same
+    /// [`Decomposition`] the one-shot API would — bit-identical λ,
+    /// order and hierarchy — with the preparation cost amortized across
+    /// calls. The reported peel phase includes [`Prepared::prep_time`]
+    /// so phase splits stay comparable with [`mod@crate::decompose`].
+    ///
+    /// # Errors
+    /// See [`crate::plan::validate`].
+    pub fn run(&self, algorithm: Algorithm) -> Result<Decomposition, CoreError> {
+        let engine = self.resolve_engine(algorithm)?;
+        if algorithm == Algorithm::Lcps {
+            return Ok(self.run_lcps(engine));
+        }
+        Ok(with_space!(self.space, s => match &self.index {
+            Some(index) => self.run_algo(&IndexedSpace::new(s, index), algorithm, engine),
+            None => self.run_algo(s, algorithm, engine),
+        }))
+    }
+
+    /// LCPS: peel over the cached backend, then the Matula–Beck
+    /// priority search directly on the graph. [`Prepared::resolve_engine`]
+    /// already proved `kind == Core`.
+    fn run_lcps(&self, engine: PeelEngine) -> Decomposition {
+        let t0 = Instant::now();
+        let peeling = with_space!(self.space, s => match &self.index {
+            Some(index) => peel(&IndexedSpace::new(s, index)),
+            None => peel(s),
+        });
+        let peel_t = self.prep_time + t0.elapsed();
+        let t1 = Instant::now();
+        let hierarchy = lcps(self.g, &peeling);
+        let post_t = t1.elapsed();
+        Decomposition {
+            kind: self.kind,
+            algorithm: Algorithm::Lcps,
+            backend: self.backend,
+            engine,
+            stats: SkeletonStats {
+                subnuclei: hierarchy.nucleus_count(),
+                adj_connections: 0,
+            },
+            peeling,
+            hierarchy,
+            times: PhaseTimes {
+                peel: peel_t,
+                post: post_t,
+            },
+        }
+    }
+
+    /// The algorithm dispatch, monomorphized per space *and* backend —
+    /// the exact hot path the pre-session `decompose_with` ran, now fed
+    /// from the cached space. `engine` is already resolved (never
+    /// `Auto`).
+    fn run_algo<S: PeelSpace + Sync>(
+        &self,
+        space: &S,
+        algorithm: Algorithm,
+        engine: PeelEngine,
+    ) -> Decomposition {
+        match algorithm {
+            // `resolve_engine` rejects LCPS×non-core and `run` branches
+            // LCPS off before dispatching to a backend.
+            Algorithm::Lcps => unreachable!("LCPS never reaches backend dispatch"),
+            Algorithm::Fnd => {
+                debug_assert_eq!(engine, PeelEngine::Serial, "FND is order-sequential");
+                let out = fnd(space);
+                Decomposition {
+                    kind: self.kind,
+                    algorithm,
+                    backend: self.backend,
+                    engine: PeelEngine::Serial,
+                    peeling: out.peeling,
+                    hierarchy: out.hierarchy,
+                    times: PhaseTimes {
+                        peel: self.prep_time + out.peel_time,
+                        post: out.post_time,
+                    },
+                    stats: SkeletonStats {
+                        subnuclei: out.stats.subnuclei,
+                        adj_connections: out.stats.adj_connections,
+                    },
+                }
+            }
+            Algorithm::Naive | Algorithm::Dft => {
+                let t0 = Instant::now();
+                let peeling = match engine {
+                    PeelEngine::Frontier => peel_parallel_with(
+                        space,
+                        FrontierOptions {
+                            threads: self.threads,
+                            ..FrontierOptions::default()
+                        },
+                    ),
+                    _ => peel(space),
+                };
+                let peel_t = self.prep_time + t0.elapsed();
+                let t1 = Instant::now();
+                let (hierarchy, subnuclei) = match algorithm {
+                    Algorithm::Naive => {
+                        let h = naive(space, &peeling);
+                        let c = h.nucleus_count();
+                        (h, c)
+                    }
+                    _ => {
+                        let (h, st) = dft(space, &peeling);
+                        (h, st.subnuclei)
+                    }
+                };
+                let post_t = t1.elapsed();
+                Decomposition {
+                    kind: self.kind,
+                    algorithm,
+                    backend: self.backend,
+                    engine,
+                    peeling,
+                    hierarchy,
+                    times: PhaseTimes {
+                        peel: peel_t,
+                        post: post_t,
+                    },
+                    stats: SkeletonStats {
+                        subnuclei,
+                        adj_connections: 0,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Distinct vertices spanned by the member cells of hierarchy node
+    /// `node` — [`crate::report::nucleus_vertices`] over the cached
+    /// space, so session users can summarize nuclei without rebuilding
+    /// one.
+    pub fn nucleus_vertices(&self, hierarchy: &crate::hierarchy::Hierarchy, node: u32) -> Vec<u32> {
+        with_space!(self.space, s => crate::report::nucleus_vertices(s, hierarchy, node))
+    }
+
+    /// Runs the *Hypo* baseline over the cached space: serial peeling
+    /// plus one full sweep. Returns the phase times (peel includes
+    /// [`Prepared::prep_time`]) and the number of s-connectivity
+    /// components; no hierarchy is produced (that is the point of the
+    /// baseline). Always peels serially, whatever the session's engine
+    /// policy.
+    pub fn hypo_baseline(&self) -> (PhaseTimes, usize) {
+        fn run_on<B: crate::space::PeelBackend>(space: &B, prep: Duration) -> (PhaseTimes, usize) {
+            let t0 = Instant::now();
+            let _ = peel(space);
+            let peel_t = prep + t0.elapsed();
+            let t1 = Instant::now();
+            let comps = hypo_sweep(space);
+            (
+                PhaseTimes {
+                    peel: peel_t,
+                    post: t1.elapsed(),
+                },
+                comps,
+            )
+        }
+        with_space!(self.space, s => match &self.index {
+            Some(index) => run_on(&IndexedSpace::new(s, index), self.prep_time),
+            None => run_on(s, self.prep_time),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::{decompose_with, hypo_baseline_with};
+    use crate::test_graphs;
+
+    #[test]
+    fn prepared_runs_match_one_shot_for_all_kinds() {
+        let g = test_graphs::nested_cores();
+        for kind in Kind::all() {
+            let prepared = Nucleus::builder(&g)
+                .kind(kind)
+                .threads(2)
+                .prepare()
+                .unwrap();
+            for &algo in Algorithm::for_kind(kind) {
+                let one_shot = decompose_with(
+                    &g,
+                    kind,
+                    algo,
+                    DecomposeOptions {
+                        threads: 2,
+                        ..DecomposeOptions::default()
+                    },
+                )
+                .unwrap();
+                let run = prepared.run(algo).unwrap();
+                assert_eq!(
+                    run.peeling.lambda, one_shot.peeling.lambda,
+                    "{kind}/{algo} λ"
+                );
+                assert_eq!(
+                    run.peeling.order, one_shot.peeling.order,
+                    "{kind}/{algo} order"
+                );
+                assert_eq!(run.hierarchy, one_shot.hierarchy, "{kind}/{algo} hierarchy");
+                if algo != Algorithm::Lcps {
+                    // LCPS one-shots prepare lazily by design; other
+                    // algorithms must resolve identically
+                    assert_eq!(run.backend, one_shot.backend, "{kind}/{algo} backend");
+                    assert_eq!(run.engine, one_shot.engine, "{kind}/{algo} engine");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reruns_do_not_corrupt_prepared_state() {
+        let g = test_graphs::nested_cores();
+        let prepared = Nucleus::builder(&g)
+            .kind(Kind::Truss)
+            .backend(Backend::Materialized)
+            .threads(2)
+            .prepare()
+            .unwrap();
+        let first = prepared.run(Algorithm::Dft).unwrap();
+        let second = prepared.run(Algorithm::Dft).unwrap();
+        assert_eq!(first.peeling.lambda, second.peeling.lambda);
+        assert_eq!(first.peeling.order, second.peeling.order);
+        assert_eq!(first.hierarchy, second.hierarchy);
+        // and a different algorithm on the same session still agrees
+        let fnd = prepared.run(Algorithm::Fnd).unwrap();
+        assert_eq!(fnd.hierarchy, first.hierarchy);
+        let (_, comps1) = prepared.hypo_baseline();
+        let (_, comps2) = prepared.hypo_baseline();
+        assert_eq!(comps1, comps2);
+    }
+
+    #[test]
+    fn plan_resolves_and_explains() {
+        let g = test_graphs::nested_cores();
+        let prepared = Nucleus::builder(&g)
+            .kind(Kind::Truss)
+            .threads(4)
+            .prepare()
+            .unwrap();
+        // small graph + auto → materialized; DFT + 4 threads → frontier
+        assert_eq!(prepared.backend(), Backend::Materialized);
+        let plan = prepared.plan(Algorithm::Dft).unwrap();
+        assert_eq!(plan.backend, Backend::Materialized);
+        assert_eq!(plan.engine, PeelEngine::Frontier);
+        assert_eq!(plan.threads, 4);
+        assert!(plan.cells > 0);
+        let text = plan.explain();
+        assert!(text.contains("truss"), "{text}");
+        assert!(text.contains("(2,3)"), "{text}");
+        assert!(text.contains("materialized"), "{text}");
+        assert!(text.contains("frontier"), "{text}");
+        assert!(text.contains("auto"), "{text}");
+        // FND on the same session: serial, with the reason naming it
+        let plan = prepared.plan(Algorithm::Fnd).unwrap();
+        assert_eq!(plan.engine, PeelEngine::Serial);
+        assert!(plan.engine_reason.contains("FND"), "{}", plan.engine_reason);
+        // Display goes through explain
+        assert_eq!(format!("{plan}"), plan.explain());
+    }
+
+    #[test]
+    fn plan_and_run_reject_what_validate_rejects() {
+        let g = test_graphs::nested_cores();
+        // frontier × lazy dies at prepare
+        let err = Nucleus::builder(&g)
+            .backend(Backend::Lazy)
+            .engine(PeelEngine::Frontier)
+            .prepare()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidOptions { .. }), "{err}");
+        // frontier × FND dies at plan/run
+        let prepared = Nucleus::builder(&g)
+            .engine(PeelEngine::Frontier)
+            .threads(2)
+            .prepare()
+            .unwrap();
+        assert!(prepared.plan(Algorithm::Fnd).is_err());
+        assert!(prepared.run(Algorithm::Fnd).is_err());
+        // ... but Naive/DFT still run on that same session
+        assert!(prepared.run(Algorithm::Dft).is_ok());
+        // LCPS × non-core dies at plan/run
+        let prepared = Nucleus::builder(&g).kind(Kind::EdgeK4).prepare().unwrap();
+        let err = prepared.run(Algorithm::Lcps).unwrap_err();
+        assert!(
+            matches!(err, CoreError::UnsupportedAlgorithm { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lcps_reuses_a_materialized_session() {
+        let g = test_graphs::nested_cores();
+        let prepared = Nucleus::builder(&g)
+            .kind(Kind::Core)
+            .backend(Backend::Materialized)
+            .prepare()
+            .unwrap();
+        let via_session = prepared.run(Algorithm::Lcps).unwrap();
+        assert_eq!(via_session.backend, Backend::Materialized);
+        let one_shot =
+            decompose_with(&g, Kind::Core, Algorithm::Lcps, DecomposeOptions::default()).unwrap();
+        // the wrapper path stays lazy (old behavior), results agree
+        assert_eq!(one_shot.backend, Backend::Lazy);
+        assert_eq!(via_session.peeling.lambda, one_shot.peeling.lambda);
+        assert_eq!(via_session.hierarchy, one_shot.hierarchy);
+    }
+
+    #[test]
+    fn hypo_baseline_matches_one_shot() {
+        let g = test_graphs::nested_cores();
+        for kind in Kind::all() {
+            let prepared = Nucleus::builder(&g).kind(kind).prepare().unwrap();
+            let (_, comps) = prepared.hypo_baseline();
+            let (_, one_shot) = hypo_baseline_with(&g, kind, DecomposeOptions::default());
+            assert_eq!(comps, one_shot, "{kind}");
+        }
+    }
+
+    #[test]
+    fn accessors_report_the_prepared_shape() {
+        let g = test_graphs::nested_cores();
+        let prepared = Nucleus::builder(&g)
+            .kind(Kind::Truss)
+            .backend(Backend::Lazy)
+            .threads(3)
+            .prepare()
+            .unwrap();
+        assert_eq!(prepared.kind(), Kind::Truss);
+        assert_eq!(prepared.backend(), Backend::Lazy);
+        assert_eq!(prepared.threads(), 3);
+        assert_eq!(prepared.cells(), g.m());
+        assert!(prepared.containers() > 0);
+        assert!(prepared.estimated_index_bytes() > 0);
+        assert!(std::ptr::eq(prepared.graph(), &g));
+    }
+}

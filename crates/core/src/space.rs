@@ -95,7 +95,7 @@ pub mod vertex_triangle;
 
 pub use edge::EdgeSpace;
 pub use edge_k4::EdgeK4Space;
-pub use materialized::{ContainerIndex, MaterializedSpace, PeelCells};
+pub use materialized::{ContainerIndex, IndexedSpace, MaterializedSpace, PeelCells};
 pub use triangle::TriangleSpace;
 pub use vertex::VertexSpace;
 pub use vertex_triangle::VertexTriangleSpace;

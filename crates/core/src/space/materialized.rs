@@ -351,6 +351,58 @@ impl<'s, S> MaterializedSpace<'s, S> {
     }
 }
 
+/// A [`PeelSpace`] served from a **borrowed** [`ContainerIndex`] over a
+/// borrowed lazy space. This is the view [`crate::session::Prepared`]
+/// peels through: the session owns the space and the index once, and
+/// every `run` constructs this two-pointer view for free — no index
+/// move, no clone. [`MaterializedSpace`] is the owning analogue for
+/// single-shot use.
+pub struct IndexedSpace<'a, S> {
+    inner: &'a S,
+    index: &'a ContainerIndex,
+}
+
+impl<'a, S: PeelSpace> IndexedSpace<'a, S> {
+    /// Wraps a space and an index that was built from it.
+    pub fn new(inner: &'a S, index: &'a ContainerIndex) -> Self {
+        debug_assert_eq!(
+            index.cell_count(),
+            inner.cell_count(),
+            "index built from a different space"
+        );
+        IndexedSpace { inner, index }
+    }
+}
+
+impl<S: PeelSpace> PeelBackend for IndexedSpace<'_, S> {
+    fn cell_count(&self) -> usize {
+        self.index.cell_count()
+    }
+
+    fn degrees(&self) -> Vec<u32> {
+        self.index.counts()
+    }
+
+    #[inline]
+    fn for_each_container<F: FnMut(&[u32])>(&self, cell: u32, f: F) {
+        self.index.for_each_container(cell, f);
+    }
+}
+
+impl<S: PeelSpace> PeelSpace for IndexedSpace<'_, S> {
+    fn r(&self) -> u32 {
+        self.inner.r()
+    }
+
+    fn s(&self) -> u32 {
+        self.inner.s()
+    }
+
+    fn cell_vertices(&self, cell: u32, out: &mut Vec<u32>) {
+        self.inner.cell_vertices(cell, out);
+    }
+}
+
 impl<S: PeelSpace> PeelBackend for MaterializedSpace<'_, S> {
     fn cell_count(&self) -> usize {
         self.index.cell_count()
@@ -406,17 +458,29 @@ mod tests {
             assert_eq!(m.r(), space.r());
             assert_eq!(m.s(), space.s());
             assert_eq!(m.name(), space.name());
+            // the borrowed view must be indistinguishable from the
+            // owning wrapper
+            let view = IndexedSpace::new(space, m.index());
+            assert_eq!(view.cell_count(), m.cell_count());
+            assert_eq!(view.degrees(), m.degrees());
+            assert_eq!((view.r(), view.s()), (m.r(), m.s()));
             for cell in 0..space.cell_count() as u32 {
                 let mut lazy: Vec<Vec<u32>> = vec![];
                 space.for_each_container(cell, |o| lazy.push(o.to_vec()));
                 let mut mat: Vec<Vec<u32>> = vec![];
                 m.for_each_container(cell, |o| mat.push(o.to_vec()));
                 assert_eq!(lazy, mat, "cell {cell}");
+                let mut viewed: Vec<Vec<u32>> = vec![];
+                view.for_each_container(cell, |o| viewed.push(o.to_vec()));
+                assert_eq!(lazy, viewed, "cell {cell} via IndexedSpace");
                 let mut a = vec![];
                 let mut b = vec![];
+                let mut c = vec![];
                 space.cell_vertices(cell, &mut a);
                 m.cell_vertices(cell, &mut b);
+                view.cell_vertices(cell, &mut c);
                 assert_eq!(a, b);
+                assert_eq!(a, c);
             }
         }
     }

@@ -9,7 +9,11 @@ use nucleus_core::algo::fnd::fnd;
 use nucleus_core::algo::lcps::lcps;
 use nucleus_core::algo::naive::naive;
 use nucleus_core::algo::tcp::{tcp_query, TcpIndex};
+use nucleus_core::decompose::{
+    decompose_with, Algorithm, Backend, DecomposeOptions, Kind, PeelEngine,
+};
 use nucleus_core::peel::{peel, peel_parallel_with, peel_reference, FrontierOptions};
+use nucleus_core::session::Nucleus;
 use nucleus_core::space::{
     EdgeK4Space, EdgeSpace, MaterializedSpace, PeelBackend, PeelSpace, TriangleSpace, VertexSpace,
     VertexTriangleSpace,
@@ -102,6 +106,90 @@ fn check_engine_equivalence<S: PeelSpace + Sync>(space: &S) {
     assert!(orders.windows(2).all(|w| w[0] == w[1]), "order determinism");
 }
 
+/// Pins the prepared-pipeline API to the one-shot `decompose_with` for
+/// one kind, across every backend × engine × algorithm combination:
+///
+/// * when the one-shot call succeeds, the session produces bit-identical
+///   λ, peeling order and hierarchy, and resolves the same backend and
+///   engine (exception: LCPS one-shots always prepare lazily by design,
+///   so only the results are compared there);
+/// * a **second** `run` on the same `Prepared` reproduces the first one
+///   exactly — reuse does not corrupt the cached space or index;
+/// * when the one-shot call rejects the combination, the session
+///   rejects it too, with the same `CoreError` variant (at `prepare`
+///   for algorithm-independent conflicts, at `run` otherwise).
+fn check_session_equivalence(g: &CsrGraph, kind: Kind) {
+    for backend in [Backend::Lazy, Backend::Materialized, Backend::Auto] {
+        for engine in [PeelEngine::Serial, PeelEngine::Frontier] {
+            let options = DecomposeOptions {
+                backend,
+                engine,
+                threads: 2,
+            };
+            let prepared = Nucleus::builder(g).kind(kind).options(options).prepare();
+            for &algo in Algorithm::for_kind(kind) {
+                let label = format!("{kind}/{algo}/{backend}/{engine}");
+                let one_shot = decompose_with(g, kind, algo, options);
+                match (&one_shot, &prepared) {
+                    (Ok(old), Ok(p)) => {
+                        let new = p.run(algo).expect(&label);
+                        assert_eq!(old.peeling.lambda, new.peeling.lambda, "{label} λ");
+                        assert_eq!(old.peeling.order, new.peeling.order, "{label} order");
+                        assert_eq!(old.hierarchy, new.hierarchy, "{label} hierarchy");
+                        if algo != Algorithm::Lcps {
+                            assert_eq!(old.backend, new.backend, "{label} backend");
+                            assert_eq!(old.engine, new.engine, "{label} engine");
+                        }
+                        // rerun on the same session: identical again
+                        let again = p.run(algo).expect(&label);
+                        assert_eq!(new.peeling.lambda, again.peeling.lambda, "{label} reuse λ");
+                        assert_eq!(
+                            new.peeling.order, again.peeling.order,
+                            "{label} reuse order"
+                        );
+                        assert_eq!(new.hierarchy, again.hierarchy, "{label} reuse hierarchy");
+                    }
+                    (Err(old), Ok(p)) => {
+                        // algorithm-dependent conflict: surfaces at run,
+                        // same error variant as the one-shot path
+                        let new = p.run(algo).expect_err(&label);
+                        assert_eq!(
+                            std::mem::discriminant(old),
+                            std::mem::discriminant(&new),
+                            "{label}: one-shot {old} vs session {new}"
+                        );
+                    }
+                    (old, Err(_)) => {
+                        // prepare-time conflict (frontier × lazy): the
+                        // one-shot path must reject every algorithm too
+                        assert!(old.is_err(), "{label}: session rejected, one-shot ran");
+                    }
+                }
+            }
+            // the Hypo baseline agrees on component counts whenever the
+            // backend combination is expressible at all
+            if let Ok(p) = &prepared {
+                let (_, comps) = p.hypo_baseline();
+                let (_, old) = nucleus_core::decompose::hypo_baseline_with(g, kind, options);
+                assert_eq!(comps, old, "{kind}/{backend}/{engine} hypo components");
+            }
+        }
+    }
+}
+
+/// Deterministic multi-model coverage for the session equivalence: one
+/// Erdős–Rényi and one Barabási–Albert graph across all five families.
+#[test]
+fn session_equivalence_on_er_and_ba_models() {
+    let er = nucleus_gen::er::gnp(80, 0.08, 5);
+    let ba = nucleus_gen::ba::barabasi_albert(100, 3, 5);
+    for g in [&er, &ba] {
+        for kind in Kind::all() {
+            check_session_equivalence(g, kind);
+        }
+    }
+}
+
 /// Deterministic multi-model coverage for the engine equivalence: one
 /// Erdős–Rényi and one Barabási–Albert graph per space family (the
 /// proptests below cover the adversarial random cases).
@@ -144,6 +232,31 @@ proptest! {
     #[test]
     fn engine_equivalence_edge_k4(g in graph_strategy(10, 40)) {
         check_engine_equivalence(&EdgeK4Space::new(&g));
+    }
+
+    #[test]
+    fn session_equivalence_core(g in graph_strategy(20, 70)) {
+        check_session_equivalence(&g, Kind::Core);
+    }
+
+    #[test]
+    fn session_equivalence_vertex_triangle(g in graph_strategy(14, 50)) {
+        check_session_equivalence(&g, Kind::VertexTriangle);
+    }
+
+    #[test]
+    fn session_equivalence_truss(g in graph_strategy(14, 55)) {
+        check_session_equivalence(&g, Kind::Truss);
+    }
+
+    #[test]
+    fn session_equivalence_edge_k4(g in graph_strategy(10, 40)) {
+        check_session_equivalence(&g, Kind::EdgeK4);
+    }
+
+    #[test]
+    fn session_equivalence_nucleus34(g in graph_strategy(12, 50)) {
+        check_session_equivalence(&g, Kind::Nucleus34);
     }
 
     #[test]

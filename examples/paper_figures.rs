@@ -1,5 +1,7 @@
 //! Walks through the paper's illustrative figures on their example
 //! graphs, demonstrating the definitional points each figure makes.
+//! Each graph's spaces are prepared once through the session API and
+//! reused across the algorithms that inspect them.
 //!
 //! ```sh
 //! cargo run --release --example paper_figures
@@ -12,31 +14,30 @@ fn main() {
     // --- Figure 2: λ values alone cannot separate the two 3-cores ---
     println!("Figure 2 — multiple 3-cores:");
     let g = paper::fig2_two_three_cores();
-    let d = decompose(&g, Kind::Core, Algorithm::Dft).unwrap();
+    let cores = Nucleus::builder(&g).kind(Kind::Core).prepare().unwrap();
+    let d = cores.run(Algorithm::Dft).unwrap();
     let threes = d.hierarchy.nuclei_at(3);
     println!(
         "  {} vertices share λ=3, but the hierarchy finds {} distinct 3-cores:",
         d.peeling.lambda.iter().filter(|&&l| l == 3).count(),
         threes.len()
     );
-    let vs = VertexSpace::new(&g);
     for id in threes {
         println!(
             "    3-core on vertices {:?}",
-            nucleus_vertices(&vs, &d.hierarchy, id)
+            cores.nucleus_vertices(&d.hierarchy, id)
         );
     }
 
     // --- Figure 3: connectivity semantics split the k-truss variants ---
     println!("\nFigure 3 — bowtie, k-dense vs k-truss vs k-truss community:");
     let g = paper::fig3_bowtie();
-    let es = EdgeSpace::new(&g);
-    let truss = peel(&es);
+    let truss = Nucleus::builder(&g).kind(Kind::Truss).prepare().unwrap();
+    let d = truss.run(Algorithm::Dft).unwrap();
     println!(
         "  every edge has λ₃ = {} → ONE k-dense / classical k-truss subgraph",
-        truss.lambda[0]
+        d.peeling.lambda[0]
     );
-    let d = decompose(&g, Kind::Truss, Algorithm::Dft).unwrap();
     println!(
         "  but triangle connectivity splits it into {} (2,3) nuclei (k-truss communities)",
         d.hierarchy.nuclei_at(1).len()
@@ -62,33 +63,47 @@ fn main() {
         [f, dd, gg].map(|v| d.hierarchy.node_of_cell(v))
     );
 
-    // --- Figure 1: (2,3) vs (3,4) nuclei disagree ---
+    // --- Figure 1: (2,3), (2,4) and (3,4) nuclei disagree ---
     println!("\nFigure 1 — octahedron ∪ K5: triangle vs four-clique nuclei:");
     let g = paper::fig1_nucleus_contrast();
     let truss = decompose(&g, Kind::Truss, Algorithm::Fnd).unwrap();
-    let n34 = decompose(&g, Kind::Nucleus34, Algorithm::Fnd).unwrap();
     println!(
         "  (2,3): max λ₃ = {}, {} nuclei — both halves are dense triangle-wise",
         truss.hierarchy.max_lambda(),
         truss.hierarchy.nucleus_count()
     );
+    // the 2-(2,4) nucleus is the figure's headline object: edges peeled
+    // by K4 count single out the K5 exactly
+    let s24 = Nucleus::builder(&g).kind(Kind::EdgeK4).prepare().unwrap();
+    let d24 = s24.run(Algorithm::Fnd).unwrap();
+    for id in d24.hierarchy.nuclei_at(d24.hierarchy.max_lambda()) {
+        println!(
+            "  (2,4): max λ₄ = {}, deepest nucleus vertices {:?} — the K5 alone",
+            d24.hierarchy.max_lambda(),
+            s24.nucleus_vertices(&d24.hierarchy, id)
+        );
+    }
+    let s34 = Nucleus::builder(&g)
+        .kind(Kind::Nucleus34)
+        .prepare()
+        .unwrap();
+    let n34 = s34.run(Algorithm::Fnd).unwrap();
     println!(
         "  (3,4): max λ₄ = {}, {} nuclei — only the K5 survives (octahedron has no K4)",
         n34.hierarchy.max_lambda(),
         n34.hierarchy.nucleus_count()
     );
-    let ts = TriangleSpace::new(&g);
     for id in n34.hierarchy.nuclei_at(n34.hierarchy.max_lambda()) {
         println!(
             "    deepest (3,4) nucleus vertices: {:?}",
-            nucleus_vertices(&ts, &n34.hierarchy, id)
+            s34.nucleus_vertices(&n34.hierarchy, id)
         );
     }
 
     // --- Figure 5's mechanism: the skeleton visible through stats ---
     println!("\nFigure 5 — sub-nuclei counts (skeleton size) on karate club:");
     let g = nucleus_hierarchy::gen::karate::karate_club();
-    for kind in [Kind::Core, Kind::Truss, Kind::Nucleus34] {
+    for kind in Kind::all() {
         let d = decompose(&g, kind, Algorithm::Fnd).unwrap();
         println!(
             "  {kind}: |T*| = {:>3}, |c↓(T*)| = {:>3}, nuclei = {:>2}",
