@@ -5,8 +5,11 @@
 //! Subcommands:
 //!
 //! * `generate` — emit a synthetic graph as an edge list;
+//! * `prepare` — build a materialized container index once and persist
+//!   it to disk;
 //! * `decompose` — run a nucleus decomposition, print the hierarchy,
-//!   optionally export it as JSON;
+//!   optionally export it as JSON; `--index` skips preparation by
+//!   loading a persisted index;
 //! * `stats` — basic structural statistics of a graph;
 //! * `query` — k-truss-community membership of an edge via the TCP index.
 //!
@@ -85,10 +88,12 @@ nucleus — dense-subgraph hierarchies (Sariyuce & Pinar, VLDB 2016)
 
 USAGE:
   nucleus generate  --model <er|ba|hk|rmat|ws|planted|cliques|karate> [model flags] --out FILE
+  nucleus prepare   --input FILE --kind <see below> --out INDEX [--threads N]
   nucleus decompose --input FILE
                     --kind <core|vertex-triangle|truss|edge-k4|nucleus34>
                            (or the (r,s) pair: 1,2 | 1,3 | 2,3 | 2,4 | 3,4)
-                    [--algo <naive|dft|fnd|lcps>] [--backend <auto|lazy|materialized>]
+                    [--index INDEX] [--algo <naive|dft|fnd|lcps>]
+                    [--backend <auto|lazy|materialized>]
                     [--engine <auto|serial|frontier>] [--threads N] [--explain]
                     [--json FILE] [--dot FILE] [--depth N]
   nucleus stats     --input FILE
@@ -99,6 +104,12 @@ examples:
   nucleus generate --model ba --n 10000 --m 5 --out web.txt
   nucleus decompose --input web.txt --kind truss --algo fnd --depth 3
   nucleus decompose --input web.txt --kind 2,4 --explain
+  nucleus prepare   --input web.txt --kind truss --out web.truss.nidx
+  nucleus decompose --input web.txt --index web.truss.nidx --algo dft
+
+With --index, --kind is optional (the index file stores the family) and
+must agree with the file when given; the index is rejected if the graph
+changed since `prepare`.
 ";
 
 /// Runs the CLI; returns the process exit code.
@@ -106,6 +117,7 @@ pub fn run<W: Write>(argv: Vec<String>, out: &mut W) -> Result<(), String> {
     let args = Args::parse(argv)?;
     match args.command.as_str() {
         "generate" => cmd_generate(&args, out),
+        "prepare" => cmd_prepare(&args, out),
         "decompose" => cmd_decompose(&args, out),
         "stats" => cmd_stats(&args, out),
         "query" => cmd_query(&args, out),
@@ -184,22 +196,72 @@ fn parse_backend(s: &str) -> Result<Backend, String> {
     Backend::parse(s).map_err(|e| e.to_string())
 }
 
-fn cmd_decompose<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+fn cmd_prepare<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let g = load_graph(args)?;
     let kind = parse_kind(args.need("kind")?)?;
-    let algo = parse_algo(args.get_or("algo", "fnd"))?;
-    let backend = parse_backend(args.get_or("backend", "auto"))?;
-    let engine = parse_engine(args.get_or("engine", "auto"))?;
-    // Reject contradictory combinations before `prepare` spends time on
-    // clique enumeration / index construction the run could never use.
-    nucleus_core::plan::validate(kind, algo, backend, engine).map_err(|e| e.to_string())?;
+    let out_path = args.need("out")?;
     let prepared = Nucleus::builder(&g)
         .kind(kind)
-        .backend(backend)
-        .engine(engine)
+        .backend(Backend::Materialized)
         .threads(args.num("threads", 0usize)?)
         .prepare()
         .map_err(|e| e.to_string())?;
+    prepared.save(out_path).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "wrote {out_path}: {} {} index, {} cells, {} containers, {bytes} bytes",
+        kind.name(),
+        kind,
+        prepared.cells(),
+        prepared.containers(),
+    );
+    Ok(())
+}
+
+fn cmd_decompose<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let algo = parse_algo(args.get_or("algo", "fnd"))?;
+    let backend = parse_backend(args.get_or("backend", "auto"))?;
+    let engine = parse_engine(args.get_or("engine", "auto"))?;
+    let threads = args.num("threads", 0usize)?;
+    let prepared = if let Some(index_path) = args.flags.get("index") {
+        let index = PreparedIndex::load(index_path).map_err(|e| e.to_string())?;
+        // --kind is optional here (the file stores the family) but must
+        // agree with the file when given.
+        if let Some(spec) = args.flags.get("kind") {
+            let requested = parse_kind(spec)?;
+            if requested != index.kind() {
+                return Err(format!(
+                    "--kind {} conflicts with {index_path}, which stores a {} ({}) index",
+                    requested.name(),
+                    index.kind().name(),
+                    index.kind(),
+                ));
+            }
+        }
+        nucleus_core::plan::validate(index.kind(), algo, Backend::Materialized, engine)
+            .map_err(|e| e.to_string())?;
+        Nucleus::builder(&g)
+            .backend(backend)
+            .engine(engine)
+            .threads(threads)
+            .prepare_from_index(index)
+            .map_err(|e| e.to_string())?
+    } else {
+        let kind = parse_kind(args.need("kind")?)?;
+        // Reject contradictory combinations before `prepare` spends time
+        // on clique enumeration / index construction the run could never
+        // use.
+        nucleus_core::plan::validate(kind, algo, backend, engine).map_err(|e| e.to_string())?;
+        Nucleus::builder(&g)
+            .kind(kind)
+            .backend(backend)
+            .engine(engine)
+            .threads(threads)
+            .prepare()
+            .map_err(|e| e.to_string())?
+    };
     if args.flag("explain") {
         let plan = prepared.plan(algo).map_err(|e| e.to_string())?;
         let _ = writeln!(out, "{}", plan.explain());
@@ -543,6 +605,105 @@ mod tests {
         .unwrap();
         assert!(out.contains("community"), "got: {out}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prepare_then_decompose_with_index() {
+        let path = tmp("persist-src.txt");
+        run_to_string(&["generate", "--model", "karate", "--out", &path]).unwrap();
+        let idx = tmp("persist.nidx");
+        let out = run_to_string(&[
+            "prepare", "--input", &path, "--kind", "truss", "--out", &idx,
+        ])
+        .unwrap();
+        assert!(out.contains("truss"), "got: {out}");
+        assert!(out.contains("cells"), "got: {out}");
+
+        // --index without --kind: the family comes from the file
+        let via_index = run_to_string(&[
+            "decompose",
+            "--input",
+            &path,
+            "--index",
+            &idx,
+            "--algo",
+            "dft",
+        ])
+        .unwrap();
+        assert!(via_index.contains("[materialized]"), "got: {via_index}");
+        let fresh = run_to_string(&[
+            "decompose",
+            "--input",
+            &path,
+            "--kind",
+            "truss",
+            "--algo",
+            "dft",
+        ])
+        .unwrap();
+        let tree = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(tree(&via_index), tree(&fresh));
+
+        // --explain on an indexed run names the load as the reason
+        let explained =
+            run_to_string(&["decompose", "--input", &path, "--index", &idx, "--explain"]).unwrap();
+        assert!(explained.contains("loaded index"), "got: {explained}");
+
+        // an agreeing --kind is fine, a conflicting one is an error
+        run_to_string(&[
+            "decompose",
+            "--input",
+            &path,
+            "--index",
+            &idx,
+            "--kind",
+            "truss",
+        ])
+        .unwrap();
+        let err = run_to_string(&[
+            "decompose",
+            "--input",
+            &path,
+            "--index",
+            &idx,
+            "--kind",
+            "core",
+        ])
+        .unwrap_err();
+        assert!(err.contains("conflicts"), "got: {err}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&idx).ok();
+    }
+
+    #[test]
+    fn index_for_a_different_graph_is_rejected() {
+        let path = tmp("persist-a.txt");
+        run_to_string(&["generate", "--model", "karate", "--out", &path]).unwrap();
+        let idx = tmp("persist-a.nidx");
+        run_to_string(&[
+            "prepare", "--input", &path, "--kind", "truss", "--out", &idx,
+        ])
+        .unwrap();
+        let other = tmp("persist-b.txt");
+        run_to_string(&[
+            "generate", "--model", "er", "--n", "50", "--p", "0.2", "--out", &other,
+        ])
+        .unwrap();
+        let err = run_to_string(&["decompose", "--input", &other, "--index", &idx]).unwrap_err();
+        assert!(err.contains("does not match"), "got: {err}");
+        // corrupt bytes surface the typed corrupt message, not a panic
+        let mut bytes = std::fs::read(&idx).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        let bad = tmp("persist-bad.nidx");
+        std::fs::write(&bad, &bytes).unwrap();
+        let err = run_to_string(&["decompose", "--input", &path, "--index", &bad]).unwrap_err();
+        assert!(err.contains("corrupt"), "got: {err}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&other).ok();
+        std::fs::remove_file(&idx).ok();
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

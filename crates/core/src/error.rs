@@ -33,6 +33,35 @@ pub enum CoreError {
         /// Rendered list of accepted spellings.
         expected: String,
     },
+    /// A persisted index file failed structural validation: bad magic,
+    /// unsupported version, checksum mismatch, truncated or
+    /// out-of-bounds sections, malformed records. The bytes cannot be
+    /// trusted; re-run `prepare` to regenerate the file.
+    IndexCorrupt {
+        /// Where the bytes came from (file path, or a label for
+        /// in-memory images).
+        path: String,
+        /// What the validator tripped over.
+        reason: String,
+    },
+    /// A structurally valid index file does not belong to the inputs it
+    /// was offered for: the graph fingerprint differs (the graph changed
+    /// after `prepare`), or the requested kind contradicts the stored
+    /// (r, s) family.
+    IndexMismatch {
+        /// Where the index came from.
+        path: String,
+        /// Which part of the identity disagreed.
+        reason: String,
+    },
+    /// Reading or writing a persisted index failed at the I/O layer
+    /// (missing file, permissions, full disk).
+    IndexIo {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error, rendered.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -50,6 +79,15 @@ impl fmt::Display for CoreError {
                 expected,
             } => {
                 write!(f, "unknown {what} {token:?} (expected one of: {expected})")
+            }
+            CoreError::IndexCorrupt { path, reason } => {
+                write!(f, "index file {path:?} is corrupt: {reason}")
+            }
+            CoreError::IndexMismatch { path, reason } => {
+                write!(f, "index file {path:?} does not match this graph: {reason}")
+            }
+            CoreError::IndexIo { path, reason } => {
+                write!(f, "index file {path:?}: i/o error: {reason}")
             }
         }
     }

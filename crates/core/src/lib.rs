@@ -45,6 +45,7 @@ pub mod export;
 pub mod hierarchy;
 pub mod maintenance;
 pub mod peel;
+pub mod persist;
 pub mod plan;
 pub mod report;
 pub mod session;
@@ -63,6 +64,7 @@ pub use decompose::{
 pub use error::CoreError;
 pub use hierarchy::{Hierarchy, HierarchyNode};
 pub use peel::{peel, peel_parallel, peel_parallel_with, FrontierOptions, Peeling};
+pub use persist::PreparedIndex;
 pub use plan::Plan;
 pub use session::{Nucleus, NucleusBuilder, Prepared};
 
@@ -80,6 +82,7 @@ pub mod prelude {
     pub use crate::hierarchy::{Hierarchy, HierarchyNode};
     pub use crate::maintenance::DynamicCores;
     pub use crate::peel::{peel, peel_parallel, peel_parallel_with, FrontierOptions, Peeling};
+    pub use crate::persist::PreparedIndex;
     pub use crate::plan::Plan;
     pub use crate::report::{describe, nucleus_vertices, render_tree, summarize_nucleus};
     pub use crate::session::{Nucleus, NucleusBuilder, Prepared};

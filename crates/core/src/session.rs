@@ -220,6 +220,82 @@ impl<'g> NucleusBuilder<'g> {
             prep_time: t0.elapsed(),
         })
     }
+
+    /// Like [`NucleusBuilder::prepare`], but the [`ContainerIndex`]
+    /// comes from a persisted file ([`crate::persist::PreparedIndex`])
+    /// instead of being rebuilt — the load path behind
+    /// `nucleus decompose --index`. Only the cheap parts of preparation
+    /// remain: the lazy space is still constructed (it answers identity
+    /// queries like `cell_vertices`), but clique-per-cell enumeration
+    /// and the index build are skipped.
+    ///
+    /// The session's kind is taken **from the index** — the stored
+    /// (r, s) pair is authoritative; a kind set on the builder is
+    /// ignored (callers that care should compare
+    /// [`crate::persist::PreparedIndex::kind`] first, as the CLI does).
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidOptions`] when the builder explicitly asked
+    /// for [`Backend::Lazy`] (contradicts loading an index);
+    /// [`CoreError::IndexMismatch`] when the index's graph fingerprint
+    /// or cell count does not match `g`.
+    pub fn prepare_from_index(
+        self,
+        index: crate::persist::PreparedIndex,
+    ) -> Result<Prepared<'g>, CoreError> {
+        let NucleusBuilder {
+            g,
+            kind: _,
+            options,
+        } = self;
+        if options.backend == Backend::Lazy {
+            return Err(CoreError::InvalidOptions {
+                reason: "the lazy backend contradicts loading a persisted index; \
+                         drop the explicit Backend::Lazy"
+                    .to_string(),
+            });
+        }
+        index.matches(g)?;
+        let kind = index.kind();
+        let threads = options.effective_threads();
+        let t0 = Instant::now();
+        let space = AnySpace::build(g, kind, threads);
+        let cells = with_space!(space, s => s.cell_count());
+        // The fingerprint pins n, m and the degree sequence, which
+        // determines the cell count for every kind except the
+        // triangle-celled ones — so cross-check the cell count too
+        // rather than trusting the file.
+        if cells != index.cells() {
+            return Err(CoreError::IndexMismatch {
+                path: index.path().to_string(),
+                reason: format!(
+                    "index covers {} cells, the graph's {} space has {}",
+                    index.cells(),
+                    kind,
+                    cells
+                ),
+            });
+        }
+        let backend_reason = format!("loaded index from {}", index.path());
+        let containers = index.containers();
+        let bytes = index.bytes();
+        let container_index = index.into_container_index();
+        let facts = OnceLock::new();
+        let _ = facts.set((containers, bytes));
+        Ok(Prepared {
+            g,
+            kind,
+            backend: Backend::Materialized,
+            engine: options.engine,
+            threads,
+            space,
+            index: Some(container_index),
+            cells,
+            facts,
+            backend_reason,
+            prep_time: t0.elapsed(),
+        })
+    }
 }
 
 /// Resolves the backend policy into a concrete materialize/lazy
@@ -335,6 +411,12 @@ impl<'g> Prepared<'g> {
     /// The underlying graph.
     pub fn graph(&self) -> &'g CsrGraph {
         self.g
+    }
+
+    /// The session's [`ContainerIndex`], when materialized — what
+    /// [`Prepared::save`](crate::persist) serializes.
+    pub(crate) fn container_index(&self) -> Option<&ContainerIndex> {
+        self.index.as_ref()
     }
 
     /// Resolves — without running — exactly what [`Prepared::run`]

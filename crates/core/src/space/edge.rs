@@ -1,6 +1,8 @@
 //! (2,3) space: cells are edges, containers are triangles → k-truss
 //! community / k-(2,3) nucleus.
 
+use std::sync::OnceLock;
+
 use nucleus_cliques::triangles::edge_supports;
 use nucleus_graph::CsrGraph;
 
@@ -12,17 +14,18 @@ use super::{PeelBackend, PeelSpace};
 /// two companion edge ids per triangle without hashing.
 pub struct EdgeSpace<'g> {
     g: &'g CsrGraph,
-    supports: Vec<u32>,
+    supports: OnceLock<Vec<u32>>,
 }
 
 impl<'g> EdgeSpace<'g> {
-    /// Builds the space; enumerates all triangles once to compute edge
-    /// supports (the "enumerate all K_r's / find their ω" step of Alg. 1,
-    /// accounted to the peeling phase in benchmarks).
+    /// Wraps `g`. The triangle enumeration computing edge supports (the
+    /// "enumerate all K_r's / find their ω" step of Alg. 1) is deferred
+    /// to the first [`PeelBackend::degrees`] call, so sessions whose ω
+    /// counts come from a persisted index never pay for it.
     pub fn new(g: &'g CsrGraph) -> Self {
         EdgeSpace {
             g,
-            supports: edge_supports(g),
+            supports: OnceLock::new(),
         }
     }
 
@@ -38,7 +41,7 @@ impl PeelBackend for EdgeSpace<'_> {
     }
 
     fn degrees(&self) -> Vec<u32> {
-        self.supports.clone()
+        self.supports.get_or_init(|| edge_supports(self.g)).clone()
     }
 
     #[inline]

@@ -5,6 +5,8 @@
 //! beyond the three headline instances: nothing in Naive/DFT/FND/Hypo
 //! knows that containers here hold **five** other cells.
 
+use std::sync::OnceLock;
+
 use nucleus_cliques::{TriangleIndex, TriangleList};
 use nucleus_graph::CsrGraph;
 
@@ -17,28 +19,32 @@ use super::{PeelBackend, PeelSpace};
 /// themselves adjacent; the other cells are the remaining five edges.
 pub struct EdgeK4Space<'g> {
     g: &'g CsrGraph,
-    index: TriangleIndex,
-    degrees: Vec<u32>,
+    index: OnceLock<TriangleIndex>,
+    degrees: OnceLock<Vec<u32>>,
 }
 
 impl<'g> EdgeK4Space<'g> {
-    /// Builds the space (triangle enumeration + per-edge K4 counting).
+    /// Wraps `g`. Both the triangle index (consulted per container
+    /// enumeration) and the per-edge K4 counts are built on first use,
+    /// so sessions driven by a persisted index skip them entirely.
     pub fn new(g: &'g CsrGraph) -> Self {
-        let tris = TriangleList::build(g);
-        let index = TriangleIndex::build(g, &tris);
-        drop(tris);
-        let mut degrees = vec![0u32; g.m()];
-        for e in 0..g.m() as u32 {
-            let mut count = 0u32;
-            for_each_k4_of_edge(g, &index, e, |_| count += 1);
-            degrees[e as usize] = count;
+        EdgeK4Space {
+            g,
+            index: OnceLock::new(),
+            degrees: OnceLock::new(),
         }
-        EdgeK4Space { g, index, degrees }
     }
 
     /// The underlying graph.
     pub fn graph(&self) -> &CsrGraph {
         self.g
+    }
+
+    fn index(&self) -> &TriangleIndex {
+        self.index.get_or_init(|| {
+            let tris = TriangleList::build(self.g);
+            TriangleIndex::build(self.g, &tris)
+        })
     }
 }
 
@@ -68,12 +74,23 @@ impl PeelBackend for EdgeK4Space<'_> {
     }
 
     fn degrees(&self) -> Vec<u32> {
-        self.degrees.clone()
+        self.degrees
+            .get_or_init(|| {
+                let index = self.index();
+                let mut degrees = vec![0u32; self.g.m()];
+                for e in 0..self.g.m() as u32 {
+                    let mut count = 0u32;
+                    for_each_k4_of_edge(self.g, index, e, |_| count += 1);
+                    degrees[e as usize] = count;
+                }
+                degrees
+            })
+            .clone()
     }
 
     #[inline]
     fn for_each_container<F: FnMut(&[u32])>(&self, cell: u32, mut f: F) {
-        for_each_k4_of_edge(self.g, &self.index, cell, |others| f(&others));
+        for_each_k4_of_edge(self.g, self.index(), cell, |others| f(&others));
     }
 }
 

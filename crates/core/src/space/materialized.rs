@@ -11,10 +11,13 @@
 //! `fnd`, `naive`, `hypo_sweep` and `check_semantics` monomorphize over
 //! it unchanged.
 
+use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use nucleus_cliques::{balanced_ranges, fill_ranges_scoped};
 use nucleus_graph::flat::{offsets_from_counts, FlatRecords};
+use nucleus_graph::persist_io::{self, GraphFingerprint, IndexImage};
+use nucleus_graph::GraphError;
 
 use super::{PeelBackend, PeelSpace};
 
@@ -192,12 +195,23 @@ pub fn record_arity(r: u32, s: u32) -> usize {
     binom as usize - 1
 }
 
+/// Where a [`ContainerIndex`]'s records live: built in memory this
+/// process ([`FlatRecords`]), or loaded from a persisted index file and
+/// served zero-copy off the validated byte image.
+#[derive(Clone, Debug)]
+enum FlatStore {
+    /// Records built by [`ContainerIndex::build`] in this process.
+    Owned(FlatRecords),
+    /// Records decoded on the fly from a validated on-disk image.
+    Loaded(IndexImage),
+}
+
 /// Flat CSR of container records: for each cell, one record per
 /// container, each record holding the co-cell ids in the lazy backend's
 /// enumeration order.
 #[derive(Clone, Debug)]
 pub struct ContainerIndex {
-    flat: FlatRecords,
+    store: FlatStore,
 }
 
 impl ContainerIndex {
@@ -245,39 +259,95 @@ impl ContainerIndex {
             },
         );
         ContainerIndex {
-            flat: FlatRecords::from_parts(offsets, data, arity),
+            store: FlatStore::Owned(FlatRecords::from_parts(offsets, data, arity)),
+        }
+    }
+
+    /// Wraps a validated on-disk image as an index, served zero-copy
+    /// off the image's byte buffer. The caller
+    /// ([`crate::persist::PreparedIndex`]) is responsible for checking
+    /// the image belongs to the graph at hand; structural validity was
+    /// already proven when the image was constructed.
+    pub fn from_image(image: IndexImage) -> Self {
+        ContainerIndex {
+            store: FlatStore::Loaded(image),
         }
     }
 
     /// Number of cells indexed.
     pub fn cell_count(&self) -> usize {
-        self.flat.cells()
+        match &self.store {
+            FlatStore::Owned(f) => f.cells(),
+            FlatStore::Loaded(img) => img.flat().cells(),
+        }
     }
 
     /// Co-cells per record (`C(s,r) - 1`).
     pub fn arity(&self) -> usize {
-        self.flat.arity()
+        match &self.store {
+            FlatStore::Owned(f) => f.arity(),
+            FlatStore::Loaded(img) => img.header().arity as usize,
+        }
     }
 
     /// Total container records (Σ ω over all cells).
     pub fn container_count(&self) -> usize {
-        self.flat.record_count()
+        match &self.store {
+            FlatStore::Owned(f) => f.record_count(),
+            FlatStore::Loaded(img) => img.flat().record_count(),
+        }
     }
 
     /// ω of one cell, read off the offsets.
     #[inline]
     pub fn degree(&self, cell: u32) -> u32 {
-        self.flat.count(cell)
+        match &self.store {
+            FlatStore::Owned(f) => f.count(cell),
+            FlatStore::Loaded(img) => img.flat().count(cell),
+        }
     }
 
     /// ω of every cell (reconstructed from the offsets).
     pub fn counts(&self) -> Vec<u32> {
-        self.flat.counts()
+        match &self.store {
+            FlatStore::Owned(f) => f.counts(),
+            FlatStore::Loaded(img) => img.flat().counts(),
+        }
     }
 
-    /// Heap footprint of the index in bytes.
+    /// Memory footprint of the index in bytes (heap buffers for owned
+    /// stores, the whole image for loaded ones).
     pub fn bytes(&self) -> usize {
-        self.flat.bytes()
+        match &self.store {
+            FlatStore::Owned(f) => f.bytes(),
+            FlatStore::Loaded(img) => img.len(),
+        }
+    }
+
+    /// `true` when this index is served from a loaded on-disk image
+    /// rather than records built in this process.
+    pub fn is_loaded(&self) -> bool {
+        matches!(self.store, FlatStore::Loaded(_))
+    }
+
+    /// Serializes the index in the persisted format for the `(r, s)`
+    /// family of a graph with fingerprint `fp`. Loaded stores re-emit
+    /// their validated image bytes verbatim (the header already carries
+    /// the identity); owned stores encode fresh.
+    pub fn write_to<W: Write>(
+        &self,
+        w: &mut W,
+        r: u32,
+        s: u32,
+        fp: GraphFingerprint,
+    ) -> Result<(), GraphError> {
+        match &self.store {
+            FlatStore::Owned(f) => persist_io::write_index(w, r, s, fp, f),
+            FlatStore::Loaded(img) => {
+                w.write_all(img.raw())?;
+                Ok(())
+            }
+        }
     }
 
     /// Estimated index footprint for a space **without building it**:
@@ -299,8 +369,13 @@ impl ContainerIndex {
     /// Serves one cell's containers from the flat buffer.
     #[inline]
     pub fn for_each_container<F: FnMut(&[u32])>(&self, cell: u32, mut f: F) {
-        for rec in self.flat.records_of(cell) {
-            f(rec);
+        match &self.store {
+            FlatStore::Owned(flat) => {
+                for rec in flat.records_of(cell) {
+                    f(rec);
+                }
+            }
+            FlatStore::Loaded(img) => img.flat().for_each_record(cell, f),
         }
     }
 }

@@ -1,6 +1,8 @@
 //! (3,4) space: cells are triangles, containers are four-cliques →
 //! k-(3,4) nucleus, the paper's densest/most-detailed decomposition.
 
+use std::sync::OnceLock;
+
 use nucleus_cliques::four_cliques::k4_degrees;
 use nucleus_cliques::{k4_degrees_parallel, TriangleIndex, TriangleList};
 use nucleus_graph::CsrGraph;
@@ -11,38 +13,54 @@ use super::{PeelBackend, PeelSpace};
 /// triangle `t`. Containers of `t = {u, v, w}` are apex vertices `x`
 /// adjacent to all three, found by intersecting two per-edge third-vertex
 /// lists; companion triangle ids come from the [`TriangleIndex`].
+///
+/// Only the triangle list itself — the cell identities — is built
+/// eagerly. The per-edge index (consulted by container enumeration) and
+/// the K4 counts (`ω`) are deferred to first use: a session loading a
+/// persisted (3,4) index needs neither and pays for neither.
 pub struct TriangleSpace<'g> {
     g: &'g CsrGraph,
     tris: TriangleList,
-    index: TriangleIndex,
-    k4deg: Vec<u32>,
+    index: OnceLock<TriangleIndex>,
+    k4deg: OnceLock<Vec<u32>>,
+    threads: usize,
 }
 
 impl<'g> TriangleSpace<'g> {
-    /// Builds the space: enumerates triangles, indexes them per edge, and
-    /// counts K4 degrees (the "enumerate K_r's + set ω" part of Alg. 1).
+    /// Builds the space: enumerates triangles eagerly; the per-edge
+    /// index and K4 degrees (the "enumerate K_r's + set ω" part of
+    /// Alg. 1) follow lazily on first use.
     pub fn new(g: &'g CsrGraph) -> Self {
-        Self::build(g, k4_degrees)
+        Self::with_threads(g, 1)
     }
 
     /// Builds the space like [`TriangleSpace::new`], but counts K4
-    /// degrees with `threads` worker threads (the same knob as
-    /// [`nucleus_cliques::parallel::triangle_count_parallel`]) — the ω
-    /// computation dominates space construction on dense graphs.
+    /// degrees (when first needed) with `threads` worker threads (the
+    /// same knob as [`nucleus_cliques::parallel::triangle_count_parallel`])
+    /// — the ω computation dominates space construction on dense graphs.
     pub fn with_threads(g: &'g CsrGraph, threads: usize) -> Self {
-        Self::build(g, |g, tris| k4_degrees_parallel(g, tris, threads))
-    }
-
-    fn build(g: &'g CsrGraph, k4: impl FnOnce(&CsrGraph, &TriangleList) -> Vec<u32>) -> Self {
-        let tris = TriangleList::build(g);
-        let index = TriangleIndex::build(g, &tris);
-        let k4deg = k4(g, &tris);
         TriangleSpace {
             g,
-            tris,
-            index,
-            k4deg,
+            tris: TriangleList::build(g),
+            index: OnceLock::new(),
+            k4deg: OnceLock::new(),
+            threads,
         }
+    }
+
+    fn index(&self) -> &TriangleIndex {
+        self.index
+            .get_or_init(|| TriangleIndex::build(self.g, &self.tris))
+    }
+
+    fn k4deg(&self) -> &[u32] {
+        self.k4deg.get_or_init(|| {
+            if self.threads <= 1 {
+                k4_degrees(self.g, &self.tris)
+            } else {
+                k4_degrees_parallel(self.g, &self.tris, self.threads)
+            }
+        })
     }
 
     /// The underlying graph.
@@ -57,7 +75,7 @@ impl<'g> TriangleSpace<'g> {
 
     /// Total K4 count of the graph.
     pub fn k4_count(&self) -> u64 {
-        self.k4deg.iter().map(|&d| d as u64).sum::<u64>() / 4
+        self.k4deg().iter().map(|&d| d as u64).sum::<u64>() / 4
     }
 }
 
@@ -67,7 +85,7 @@ impl PeelBackend for TriangleSpace<'_> {
     }
 
     fn degrees(&self) -> Vec<u32> {
-        self.k4deg.clone()
+        self.k4deg().to_vec()
     }
 
     #[inline]
@@ -77,8 +95,9 @@ impl PeelBackend for TriangleSpace<'_> {
         // Apexes x of K4s over {u,v,w} are exactly the common thirds of
         // edges (u,v) and (u,w); the third companion triangle {v,w,x}
         // is looked up in the (v,w) list.
-        let a = self.index.thirds(e_uv); // (x, tid of {u,v,x})
-        let b = self.index.thirds(e_uw); // (x, tid of {u,w,x})
+        let index = self.index();
+        let a = index.thirds(e_uv); // (x, tid of {u,v,x})
+        let b = index.thirds(e_uw); // (x, tid of {u,w,x})
         let (mut i, mut j) = (0usize, 0usize);
         while i < a.len() && j < b.len() {
             match a[i].0.cmp(&b[j].0) {
@@ -87,7 +106,7 @@ impl PeelBackend for TriangleSpace<'_> {
                 std::cmp::Ordering::Equal => {
                     let x = a[i].0;
                     debug_assert!(x != v && x != w);
-                    if let Some(t_vwx) = self.index.tid(e_vw, x) {
+                    if let Some(t_vwx) = index.tid(e_vw, x) {
                         f(&[a[i].1, b[j].1, t_vwx]);
                     }
                     i += 1;

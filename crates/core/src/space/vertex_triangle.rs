@@ -7,6 +7,8 @@
 //! other cells), and it is a useful decomposition in its own right for
 //! social-network seeding.
 
+use std::sync::OnceLock;
+
 use nucleus_graph::CsrGraph;
 
 use super::{PeelBackend, PeelSpace};
@@ -14,19 +16,18 @@ use super::{PeelBackend, PeelSpace};
 /// The (1,3) peeling space: `ω₃(v)` = number of triangles containing `v`.
 pub struct VertexTriangleSpace<'g> {
     g: &'g CsrGraph,
-    degrees: Vec<u32>,
+    degrees: OnceLock<Vec<u32>>,
 }
 
 impl<'g> VertexTriangleSpace<'g> {
-    /// Builds the space (one triangle enumeration for the ω values).
+    /// Wraps `g`; the triangle enumeration for the ω values runs on the
+    /// first [`PeelBackend::degrees`] call (never, for sessions fed
+    /// counts by a persisted index).
     pub fn new(g: &'g CsrGraph) -> Self {
-        let mut degrees = vec![0u32; g.n()];
-        nucleus_cliques::triangles::for_each_triangle(g, |a, b, c, _, _, _| {
-            degrees[a as usize] += 1;
-            degrees[b as usize] += 1;
-            degrees[c as usize] += 1;
-        });
-        VertexTriangleSpace { g, degrees }
+        VertexTriangleSpace {
+            g,
+            degrees: OnceLock::new(),
+        }
     }
 
     /// The underlying graph.
@@ -41,7 +42,17 @@ impl PeelBackend for VertexTriangleSpace<'_> {
     }
 
     fn degrees(&self) -> Vec<u32> {
-        self.degrees.clone()
+        self.degrees
+            .get_or_init(|| {
+                let mut degrees = vec![0u32; self.g.n()];
+                nucleus_cliques::triangles::for_each_triangle(self.g, |a, b, c, _, _, _| {
+                    degrees[a as usize] += 1;
+                    degrees[b as usize] += 1;
+                    degrees[c as usize] += 1;
+                });
+                degrees
+            })
+            .clone()
     }
 
     #[inline]

@@ -1,0 +1,234 @@
+//! Adversarial tests for the persisted-index loader: every way the
+//! bytes can be wrong — truncated, bit-flipped, mislabeled, stale —
+//! must surface as a *typed* [`CoreError`], never a panic and never a
+//! silently wrong index. The whole-file checksum makes most of these
+//! deterministic: any byte change is caught.
+
+use nucleus_core::decompose::{Algorithm, Backend, Kind};
+use nucleus_core::error::CoreError;
+use nucleus_core::persist::PreparedIndex;
+use nucleus_core::session::Nucleus;
+use nucleus_graph::persist_io::{hash64, FILE_HASH_RANGE};
+use nucleus_graph::CsrGraph;
+use rand::{Rng, SeedableRng};
+
+/// A valid index image for the karate club's (2,3) space, produced
+/// through the real save path.
+fn valid_image(kind: Kind) -> (CsrGraph, Vec<u8>) {
+    let g = nucleus_gen::karate::karate_club();
+    let dir = std::env::temp_dir().join("nucleus-persist-adversarial");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}-{}.nidx", std::process::id(), kind.name()));
+    Nucleus::builder(&g)
+        .kind(kind)
+        .backend(Backend::Materialized)
+        .prepare()
+        .unwrap()
+        .save(&path)
+        .unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    (g, bytes)
+}
+
+/// Recomputes and re-stamps the whole-file hash, so a test can tamper
+/// with a *specific* field and still get past the checksum — proving
+/// the field's own validation (not just the hash) catches it.
+fn reseal(bytes: &mut [u8]) {
+    bytes[FILE_HASH_RANGE].fill(0);
+    let h = hash64(bytes);
+    bytes[FILE_HASH_RANGE].copy_from_slice(&h.to_le_bytes());
+}
+
+fn expect_corrupt(bytes: Vec<u8>, what: &str) {
+    match PreparedIndex::from_bytes(bytes, "test-image") {
+        Err(CoreError::IndexCorrupt { .. }) => {}
+        Err(other) => panic!("{what}: expected IndexCorrupt, got {other}"),
+        Ok(_) => panic!("{what}: corrupt image was accepted"),
+    }
+}
+
+#[test]
+fn valid_image_loads_for_every_kind() {
+    for kind in Kind::all() {
+        let (g, bytes) = valid_image(kind);
+        let index = PreparedIndex::from_bytes(bytes, "valid").unwrap();
+        assert_eq!(index.kind(), kind);
+        index.matches(&g).unwrap();
+        let restored = Nucleus::builder(&g).prepare_from_index(index).unwrap();
+        assert!(restored.run(Algorithm::Dft).is_ok(), "{kind}");
+    }
+}
+
+#[test]
+fn wrong_magic_is_corrupt() {
+    let (_, mut bytes) = valid_image(Kind::Truss);
+    bytes[0..4].copy_from_slice(b"NOPE");
+    reseal(&mut bytes);
+    expect_corrupt(bytes, "wrong magic");
+}
+
+#[test]
+fn future_version_is_corrupt_and_names_the_version() {
+    let (_, mut bytes) = valid_image(Kind::Truss);
+    bytes[16..20].copy_from_slice(&2u32.to_le_bytes());
+    reseal(&mut bytes);
+    match PreparedIndex::from_bytes(bytes, "future") {
+        Err(CoreError::IndexCorrupt { reason, .. }) => {
+            assert!(reason.contains("version"), "{reason}");
+        }
+        other => panic!("expected IndexCorrupt naming the version, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    let (_, bytes) = valid_image(Kind::Truss);
+    for len in 0..bytes.len() {
+        expect_corrupt(bytes[..len].to_vec(), &format!("truncated to {len}"));
+    }
+}
+
+#[test]
+fn every_flipped_byte_is_rejected() {
+    // One image per kind keeps this affordable while covering all five
+    // section layouts (arity 1 through 5).
+    for kind in [Kind::Core, Kind::Truss, Kind::EdgeK4] {
+        let (_, bytes) = valid_image(kind);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xff;
+            expect_corrupt(bad, &format!("{kind}: flipped byte {i}"));
+        }
+    }
+}
+
+#[test]
+fn resealed_section_tampering_is_still_caught() {
+    // Flip a data byte AND fix the whole-file hash: the per-section
+    // checksum must catch it on its own.
+    let (_, mut bytes) = valid_image(Kind::Truss);
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    reseal(&mut bytes);
+    expect_corrupt(bytes, "resealed data flip");
+}
+
+#[test]
+fn fingerprint_mismatch_is_typed_not_silent() {
+    let (g, bytes) = valid_image(Kind::Truss);
+    let index = PreparedIndex::from_bytes(bytes, "stale").unwrap();
+
+    // Graph edited after save: one more edge.
+    let mut edges: Vec<(u32, u32)> = g.edges().map(|(_, u, v)| (u, v)).collect();
+    edges.push((0, 9));
+    edges.sort_unstable();
+    edges.dedup();
+    let grown = CsrGraph::from_edges(g.n(), &edges);
+    let err = index.matches(&grown).unwrap_err();
+    assert!(matches!(err, CoreError::IndexMismatch { .. }), "{err}");
+
+    // Same n and m, different degree sequence: a rewired edge.
+    let mut rewired: Vec<(u32, u32)> = g.edges().map(|(_, u, v)| (u, v)).collect();
+    let pos = rewired
+        .iter()
+        .position(|&(u, v)| (u, v) == (0, 1))
+        .expect("karate has edge (0,1)");
+    rewired[pos] = (26, 28);
+    let moved = CsrGraph::from_edges(g.n(), &rewired);
+    assert_eq!(moved.n(), g.n());
+    assert_eq!(moved.m(), g.m());
+    let err = index.matches(&moved).unwrap_err();
+    match err {
+        CoreError::IndexMismatch { reason, .. } => {
+            assert!(reason.contains("degree"), "{reason}");
+        }
+        other => panic!("expected IndexMismatch on the degree hash, got {other}"),
+    }
+
+    let err = Nucleus::builder(&grown)
+        .prepare_from_index(index)
+        .map(|_| ())
+        .unwrap_err();
+    assert!(err.to_string().contains("does not match"), "{err}");
+}
+
+#[test]
+fn swapped_family_header_is_rejected() {
+    // Claim a (1,2) index is (2,3): arity 1 contradicts the truss
+    // family's record width even after resealing every checksum.
+    let (_, mut bytes) = valid_image(Kind::Core);
+    bytes[20..24].copy_from_slice(&2u32.to_le_bytes());
+    bytes[24..28].copy_from_slice(&3u32.to_le_bytes());
+    reseal(&mut bytes);
+    expect_corrupt(bytes, "family/arity contradiction");
+}
+
+#[test]
+fn unsupported_family_is_a_mismatch() {
+    // (2,5) is a coherent header (arity C(5,2)-1 = 9 > MAX_ARITY, so
+    // use (1,4): arity 3) but names no supported kind.
+    let (_, mut bytes) = valid_image(Kind::Nucleus34);
+    bytes[20..24].copy_from_slice(&1u32.to_le_bytes());
+    bytes[24..28].copy_from_slice(&4u32.to_le_bytes());
+    reseal(&mut bytes);
+    match PreparedIndex::from_bytes(bytes, "alien family") {
+        Err(CoreError::IndexMismatch { reason, .. }) => {
+            assert!(reason.contains("not a supported kind"), "{reason}");
+        }
+        other => panic!("expected IndexMismatch, got {other:?}"),
+    }
+}
+
+/// Byte-level fuzz: random flips, truncations, extensions and zeroed
+/// ranges over a valid image. Any mutation that changes the bytes must
+/// be rejected with a typed error — and none may panic (a panic fails
+/// the test by aborting it).
+#[test]
+fn fuzzed_mutations_never_panic_and_never_load() {
+    let (g, original) = valid_image(Kind::Truss);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed);
+    for iter in 0..300 {
+        let mut bytes = original.clone();
+        let mutations = rng.gen_range(1..4u32);
+        for _ in 0..mutations {
+            match rng.gen_range(0..4u32) {
+                0 if !bytes.is_empty() => {
+                    let i = rng.gen_range(0..bytes.len());
+                    bytes[i] ^= rng.gen_range(1..=255u8);
+                }
+                1 if !bytes.is_empty() => {
+                    let keep = rng.gen_range(0..bytes.len());
+                    bytes.truncate(keep);
+                }
+                2 => {
+                    let extra = rng.gen_range(1..64usize);
+                    bytes.extend((0..extra).map(|_| rng.gen_range(0..=255u8)));
+                }
+                _ if !bytes.is_empty() => {
+                    let start = rng.gen_range(0..bytes.len());
+                    let end = (start + rng.gen_range(1..32usize)).min(bytes.len());
+                    bytes[start..end].fill(0);
+                }
+                _ => {}
+            }
+        }
+        let changed = bytes != original;
+        match PreparedIndex::from_bytes(bytes, "fuzz") {
+            Ok(index) => {
+                assert!(
+                    !changed,
+                    "iteration {iter}: mutated image was accepted as valid"
+                );
+                // The untouched image must still behave.
+                index.matches(&g).unwrap();
+            }
+            Err(
+                CoreError::IndexCorrupt { .. }
+                | CoreError::IndexMismatch { .. }
+                | CoreError::IndexIo { .. },
+            ) => {}
+            Err(other) => panic!("iteration {iter}: untyped error {other}"),
+        }
+    }
+}

@@ -13,6 +13,7 @@ use nucleus_core::decompose::{
     decompose_with, Algorithm, Backend, DecomposeOptions, Kind, PeelEngine,
 };
 use nucleus_core::peel::{peel, peel_parallel_with, peel_reference, FrontierOptions};
+use nucleus_core::persist::PreparedIndex;
 use nucleus_core::session::Nucleus;
 use nucleus_core::space::{
     EdgeK4Space, EdgeSpace, MaterializedSpace, PeelBackend, PeelSpace, TriangleSpace, VertexSpace,
@@ -177,6 +178,62 @@ fn check_session_equivalence(g: &CsrGraph, kind: Kind) {
     }
 }
 
+/// Pins the persisted-index path to the in-memory one: `save` → `load`
+/// → `prepare_from_index` → `run` yields bit-identical λ, peeling order
+/// and hierarchy for every algorithm of the kind, vs the `Prepared`
+/// the index was saved from. Every byte of the λ/order/hierarchy
+/// equality flows through the on-disk format, so any encode/decode
+/// asymmetry fails loudly here.
+fn check_persist_round_trip(g: &CsrGraph, kind: Kind) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join("nucleus-persist-proptests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!(
+        "{}-{}-{}.nidx",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed),
+        kind.name(),
+    ));
+    let prepared = Nucleus::builder(g)
+        .kind(kind)
+        .backend(Backend::Materialized)
+        .threads(2)
+        .prepare()
+        .expect("prepare");
+    prepared.save(&path).expect("save");
+    let index = PreparedIndex::load(&path).expect("load");
+    assert_eq!(index.kind(), kind, "stored kind");
+    assert_eq!(index.cells(), prepared.cells(), "stored cell count");
+    let restored = Nucleus::builder(g)
+        .threads(2)
+        .prepare_from_index(index)
+        .expect("prepare_from_index");
+    for &algo in Algorithm::for_kind(kind) {
+        let label = format!("{kind}/{algo}");
+        let fresh = prepared.run(algo).expect(&label);
+        let loaded = restored.run(algo).expect(&label);
+        assert_eq!(fresh.peeling.lambda, loaded.peeling.lambda, "{label} λ");
+        assert_eq!(fresh.peeling.order, loaded.peeling.order, "{label} order");
+        assert_eq!(fresh.hierarchy, loaded.hierarchy, "{label} hierarchy");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Deterministic multi-model coverage for the persist round trip: one
+/// Erdős–Rényi and one Barabási–Albert graph across all five families
+/// (the proptests below cover adversarial random graphs).
+#[test]
+fn persist_round_trip_on_er_and_ba_models() {
+    let er = nucleus_gen::er::gnp(80, 0.08, 5);
+    let ba = nucleus_gen::ba::barabasi_albert(100, 3, 5);
+    for g in [&er, &ba] {
+        for kind in Kind::all() {
+            check_persist_round_trip(g, kind);
+        }
+    }
+}
+
 /// Deterministic multi-model coverage for the session equivalence: one
 /// Erdős–Rényi and one Barabási–Albert graph across all five families.
 #[test]
@@ -232,6 +289,31 @@ proptest! {
     #[test]
     fn engine_equivalence_edge_k4(g in graph_strategy(10, 40)) {
         check_engine_equivalence(&EdgeK4Space::new(&g));
+    }
+
+    #[test]
+    fn persist_round_trip_core(g in graph_strategy(20, 70)) {
+        check_persist_round_trip(&g, Kind::Core);
+    }
+
+    #[test]
+    fn persist_round_trip_vertex_triangle(g in graph_strategy(14, 50)) {
+        check_persist_round_trip(&g, Kind::VertexTriangle);
+    }
+
+    #[test]
+    fn persist_round_trip_truss(g in graph_strategy(14, 55)) {
+        check_persist_round_trip(&g, Kind::Truss);
+    }
+
+    #[test]
+    fn persist_round_trip_edge_k4(g in graph_strategy(10, 40)) {
+        check_persist_round_trip(&g, Kind::EdgeK4);
+    }
+
+    #[test]
+    fn persist_round_trip_nucleus34(g in graph_strategy(12, 50)) {
+        check_persist_round_trip(&g, Kind::Nucleus34);
     }
 
     #[test]

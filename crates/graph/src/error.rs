@@ -16,6 +16,12 @@ pub enum GraphError {
     },
     /// A binary graph file had an invalid header or truncated body.
     Format(String),
+    /// Flat-record invariants were violated (non-monotone offsets, a
+    /// mis-sized data buffer, …). Produced by the fallible record
+    /// constructors ([`crate::flat::FlatRecords::try_from_parts`],
+    /// [`crate::flat::FlatRecordsRef::new`]), which loaders of untrusted
+    /// bytes use instead of the panicking assemblers.
+    Records(String),
 }
 
 impl fmt::Display for GraphError {
@@ -26,6 +32,7 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {content:?}")
             }
             GraphError::Format(msg) => write!(f, "format error: {msg}"),
+            GraphError::Records(msg) => write!(f, "invalid flat records: {msg}"),
         }
     }
 }

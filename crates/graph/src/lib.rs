@@ -14,7 +14,11 @@
 //!   the Batagelj–Zaversnik min-bucket layout for peeling and a
 //!   max-bucket cursor queue for the LCPS traversal;
 //! * [`flat`] — fixed-arity flat record storage (CSR without graph
-//!   semantics), the layout behind the materialized peeling backend;
+//!   semantics), the layout behind the materialized peeling backend,
+//!   in both owned ([`FlatRecords`]) and borrowed byte-backed
+//!   ([`FlatRecordsRef`]) shapes;
+//! * [`persist_io`] — the versioned, checksummed on-disk encoding of a
+//!   flat record store plus the graph fingerprint that invalidates it;
 //! * [`traversal`] — BFS and connected components;
 //! * [`order`] — degree and degeneracy orderings;
 //! * [`io`] — whitespace edge-list text format and a fast binary format.
@@ -31,9 +35,11 @@ pub mod flat;
 pub mod io;
 pub mod metrics;
 pub mod order;
+pub mod persist_io;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeId, VertexId};
 pub use error::GraphError;
-pub use flat::FlatRecords;
+pub use flat::{FlatRecords, FlatRecordsRef};
+pub use persist_io::{graph_fingerprint, GraphFingerprint, IndexImage};

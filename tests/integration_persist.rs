@@ -1,0 +1,144 @@
+//! End-to-end persisted-index flow through the CLI: generate a graph,
+//! `prepare --out` an index, then `decompose --index` — the output must
+//! match a fresh `decompose` exactly, and a stale index must fail with
+//! a non-zero (Err) result naming the mismatch.
+
+use std::path::PathBuf;
+
+fn cli(argv: &[&str]) -> Result<String, String> {
+    let mut out = Vec::new();
+    nucleus_cli::run(argv.iter().map(|s| s.to_string()).collect(), &mut out)?;
+    Ok(String::from_utf8(out).unwrap())
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("nucleus-integration-persist");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+/// Everything after the first line; the first line carries wall-clock
+/// timings that legitimately differ between runs.
+fn body(out: &str) -> String {
+    out.lines().skip(1).collect::<Vec<_>>().join("\n")
+}
+
+#[test]
+fn prepare_then_decompose_matches_fresh_decompose() {
+    let graph = tmp("ba.txt");
+    let graph_s = graph.to_str().unwrap();
+    cli(&[
+        "generate", "--model", "ba", "--n", "300", "--m", "4", "--seed", "11", "--out", graph_s,
+    ])
+    .unwrap();
+
+    for kind in ["truss", "nucleus34"] {
+        let index = tmp(&format!("ba.{kind}.nidx"));
+        let index_s = index.to_str().unwrap();
+        let prepared = cli(&[
+            "prepare", "--input", graph_s, "--kind", kind, "--out", index_s,
+        ])
+        .unwrap();
+        assert!(prepared.contains("wrote"), "{prepared}");
+
+        let fresh = cli(&[
+            "decompose",
+            "--input",
+            graph_s,
+            "--kind",
+            kind,
+            "--algo",
+            "fnd",
+            "--depth",
+            "4",
+        ])
+        .unwrap();
+        let indexed = cli(&[
+            "decompose",
+            "--input",
+            graph_s,
+            "--index",
+            index_s,
+            "--algo",
+            "fnd",
+            "--depth",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(body(&fresh), body(&indexed), "{kind}: outputs diverge");
+
+        // Redundant --kind is accepted when it agrees with the file.
+        let with_kind = cli(&[
+            "decompose",
+            "--input",
+            graph_s,
+            "--index",
+            index_s,
+            "--kind",
+            kind,
+            "--algo",
+            "fnd",
+            "--depth",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(body(&fresh), body(&with_kind));
+
+        // The plan must attribute the backend to the loaded index.
+        let explained = cli(&[
+            "decompose",
+            "--input",
+            graph_s,
+            "--index",
+            index_s,
+            "--explain",
+        ])
+        .unwrap();
+        assert!(explained.contains("loaded index"), "{explained}");
+
+        std::fs::remove_file(&index).ok();
+    }
+    std::fs::remove_file(&graph).ok();
+}
+
+#[test]
+fn index_for_a_changed_graph_exits_with_an_error() {
+    let graph = tmp("karate.txt");
+    let graph_s = graph.to_str().unwrap();
+    cli(&["generate", "--model", "karate", "--out", graph_s]).unwrap();
+
+    let index = tmp("karate.truss.nidx");
+    let index_s = index.to_str().unwrap();
+    cli(&[
+        "prepare", "--input", graph_s, "--kind", "truss", "--out", index_s,
+    ])
+    .unwrap();
+
+    // A different graph behind the same path: the fingerprint check
+    // must reject the pairing (the binary maps Err to exit code 1).
+    let other = tmp("er.txt");
+    let other_s = other.to_str().unwrap();
+    cli(&[
+        "generate", "--model", "er", "--n", "34", "--p", "0.1", "--seed", "3", "--out", other_s,
+    ])
+    .unwrap();
+    let err = cli(&["decompose", "--input", other_s, "--index", index_s]).unwrap_err();
+    assert!(err.contains("does not match"), "{err}");
+
+    // Conflicting --kind is also refused.
+    let err = cli(&[
+        "decompose",
+        "--input",
+        graph_s,
+        "--index",
+        index_s,
+        "--kind",
+        "core",
+    ])
+    .unwrap_err();
+    assert!(err.contains("conflicts"), "{err}");
+
+    for p in [&graph, &index, &other] {
+        std::fs::remove_file(p).ok();
+    }
+}
