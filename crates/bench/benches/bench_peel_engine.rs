@@ -18,12 +18,28 @@
 //!   pure loss — the committed JSONs from the build container record
 //!   exactly that).
 //!
+//! The `frontier-*` rows above run with the hybrid drain *disabled*
+//! (`serial_round_threshold: 0`) so their meaning stays fixed across
+//! PRs. On top of them:
+//!
+//! * `frontier-hybrid-t1`/`-tN/…` — frontier rounds with the default
+//!   hybrid policy (mid-level frontiers below 64 cells drain their
+//!   λ-level serially; a level opening with under 1/8 of the remaining
+//!   cells hands the whole residual to the serial bucket queue), the
+//!   configuration `PeelEngine::Frontier` actually ships with;
+//! * `fnd-serial/…` — serial FND (Alg. 8) over the index: peel *plus*
+//!   hierarchy construction, the end-to-end baseline;
+//! * `fnd-frontier-t1`/`-tN/…` — parallel FND riding the hybrid
+//!   frontier engine; comparing against `fnd-serial` prices the whole
+//!   parallel hierarchy construction, not just the peel.
+//!
 //! Space construction and (for the materialized rows) the index build
 //! happen outside the timed region, so rows isolate peeling-loop cost
 //! only. JSON results land in `results/BENCH_peel_engine_*.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nucleus_core::peel::{peel, peel_parallel};
+use nucleus_core::algo::fnd::{fnd, fnd_parallel};
+use nucleus_core::peel::{peel, peel_parallel_with, FrontierOptions};
 use nucleus_core::space::{EdgeSpace, MaterializedSpace, PeelSpace, TriangleSpace};
 use nucleus_graph::CsrGraph;
 
@@ -56,11 +72,22 @@ fn bench_space<S: PeelSpace + Sync>(
     let all_threads = std::thread::available_parallelism()
         .map_or(1, |p| p.get())
         .max(2);
+    // Pure frontier rounds: the historical rows, hybrid drain off.
+    let pure = |threads: usize| FrontierOptions {
+        threads,
+        serial_round_threshold: 0,
+        ..FrontierOptions::default()
+    };
+    // What `PeelEngine::Frontier` ships: default hybrid threshold.
+    let hybrid = |threads: usize| FrontierOptions {
+        threads,
+        ..FrontierOptions::default()
+    };
     group.bench_with_input(BenchmarkId::new("serial-lazy", name), space, |b, s| {
         b.iter(|| peel(s).max_lambda);
     });
     group.bench_with_input(BenchmarkId::new("frontier-lazy", name), space, |b, s| {
-        b.iter(|| peel_parallel(s, 1).max_lambda);
+        b.iter(|| peel_parallel_with(s, pure(1)).max_lambda);
     });
     let mat = MaterializedSpace::new(space);
     group.bench_with_input(
@@ -74,14 +101,41 @@ fn bench_space<S: PeelSpace + Sync>(
         BenchmarkId::new("frontier-materialized-t1", name),
         &mat,
         |b, m| {
-            b.iter(|| peel_parallel(m, 1).max_lambda);
+            b.iter(|| peel_parallel_with(m, pure(1)).max_lambda);
         },
     );
     group.bench_with_input(
         BenchmarkId::new(format!("frontier-materialized-t{all_threads}"), name),
         &mat,
         |b, m| {
-            b.iter(|| peel_parallel(m, all_threads).max_lambda);
+            b.iter(|| peel_parallel_with(m, pure(all_threads)).max_lambda);
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("frontier-hybrid-t1", name),
+        &mat,
+        |b, m| {
+            b.iter(|| peel_parallel_with(m, hybrid(1)).max_lambda);
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new(format!("frontier-hybrid-t{all_threads}"), name),
+        &mat,
+        |b, m| {
+            b.iter(|| peel_parallel_with(m, hybrid(all_threads)).max_lambda);
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("fnd-serial", name), &mat, |b, m| {
+        b.iter(|| fnd(m).peeling.max_lambda);
+    });
+    group.bench_with_input(BenchmarkId::new("fnd-frontier-t1", name), &mat, |b, m| {
+        b.iter(|| fnd_parallel(m, 1).peeling.max_lambda);
+    });
+    group.bench_with_input(
+        BenchmarkId::new(format!("fnd-frontier-t{all_threads}"), name),
+        &mat,
+        |b, m| {
+            b.iter(|| fnd_parallel(m, all_threads).peeling.max_lambda);
         },
     );
 }

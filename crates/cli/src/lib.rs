@@ -94,7 +94,8 @@ USAGE:
                            (or the (r,s) pair: 1,2 | 1,3 | 2,3 | 2,4 | 3,4)
                     [--index INDEX] [--algo <naive|dft|fnd|lcps>]
                     [--backend <auto|lazy|materialized>]
-                    [--engine <auto|serial|frontier>] [--threads N] [--explain]
+                    [--engine <auto|serial|frontier>] [--threads N]
+                    [--frontier-serial-below N] [--explain]
                     [--json FILE] [--dot FILE] [--depth N]
   nucleus stats     --input FILE
   nucleus query     --input FILE --u U --v V --k K
@@ -110,6 +111,12 @@ examples:
 With --index, --kind is optional (the index file stores the family) and
 must agree with the file when given; the index is rejected if the graph
 changed since `prepare`.
+
+--frontier-serial-below N tunes the frontier engine's hybrid rounds:
+mid-level frontiers with fewer than N cells drain their λ-level
+serially, and a λ-level opening with under 1/8 of the remaining cells
+hands the whole residual to the serial bucket queue
+(default 64; 0 disables both fallbacks).
 ";
 
 /// Runs the CLI; returns the process exit code.
@@ -225,6 +232,10 @@ fn cmd_decompose<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let backend = parse_backend(args.get_or("backend", "auto"))?;
     let engine = parse_engine(args.get_or("engine", "auto"))?;
     let threads = args.num("threads", 0usize)?;
+    let frontier_serial_below = args.num(
+        "frontier-serial-below",
+        FrontierOptions::DEFAULT_SERIAL_ROUND_THRESHOLD,
+    )?;
     let prepared = if let Some(index_path) = args.flags.get("index") {
         let index = PreparedIndex::load(index_path).map_err(|e| e.to_string())?;
         // --kind is optional here (the file stores the family) but must
@@ -246,6 +257,7 @@ fn cmd_decompose<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
             .backend(backend)
             .engine(engine)
             .threads(threads)
+            .frontier_serial_below(frontier_serial_below)
             .prepare_from_index(index)
             .map_err(|e| e.to_string())?
     } else {
@@ -259,6 +271,7 @@ fn cmd_decompose<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
             .backend(backend)
             .engine(engine)
             .threads(threads)
+            .frontier_serial_below(frontier_serial_below)
             .prepare()
             .map_err(|e| e.to_string())?
     };
@@ -521,8 +534,9 @@ mod tests {
         // identical hierarchies → identical renderings after the timing line
         let tree = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
         assert_eq!(tree(&serial), tree(&frontier));
-        // incompatible combinations surface as CLI errors
-        let err = run_to_string(&[
+        // FND rides the frontier engine too (with a tuned hybrid
+        // threshold), producing the same hierarchy
+        let fnd_frontier = run_to_string(&[
             "decompose",
             "--input",
             &path,
@@ -530,6 +544,28 @@ mod tests {
             "truss",
             "--algo",
             "fnd",
+            "--engine",
+            "frontier",
+            "--threads",
+            "2",
+            "--frontier-serial-below",
+            "4",
+        ])
+        .unwrap();
+        assert!(
+            fnd_frontier.contains("[materialized][frontier]"),
+            "got: {fnd_frontier}"
+        );
+        assert_eq!(tree(&serial), tree(&fnd_frontier));
+        // incompatible combinations surface as CLI errors
+        let err = run_to_string(&[
+            "decompose",
+            "--input",
+            &path,
+            "--kind",
+            "core",
+            "--algo",
+            "lcps",
             "--engine",
             "frontier",
         ])

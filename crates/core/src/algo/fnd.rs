@@ -8,15 +8,37 @@
 //! the same — possibly non-maximal — sub-nucleus `T*`, so their
 //! components are unioned) or has a smaller λ (the pair of sub-nuclei is
 //! appended to the `ADJ` list, ordered later by `BuildHierarchy`).
+//!
+//! # The parallel path
+//!
+//! [`fnd_parallel_with`] rides the frontier engine
+//! ([`crate::peel::peel_with_sink`]) by fusing the classification above
+//! into the per-cell container scan, with the engine's `(stamp, id)`
+//! order as the processed-before relation. The key observation making
+//! this legal: because every peeling order is λ-monotone, a container's
+//! first-processed member always attains the container's λ (the minimum
+//! member λ), so per container the classification outcome *at the
+//! partition level* is order-independent — each of its min-λ members
+//! past the first unions with an earlier one (chaining them into one
+//! component regardless of which `w` won a tie), each higher-λ member
+//! records one adjacency to that same component, and exactly the
+//! first-processed member applies decrements. Same-λ unions go through
+//! a lock-free [`ConcurrentSets`] over cells; cross-λ adjacencies
+//! accumulate in per-worker buffers concatenated in deterministic range
+//! order. A sequential finalize then allocates one sub-nucleus per
+//! component (in emission order), resolves the buffered pairs, and
+//! reuses the serial `BuildHierarchy` — producing the same canonical
+//! [`Hierarchy`] as [`fnd`], bit for bit, at every thread count.
 
 use std::time::{Duration, Instant};
 
+use nucleus_dsf::ConcurrentSets;
 use nucleus_graph::bucket::PeelBuckets;
 
 use crate::hierarchy::{Hierarchy, NO_NODE};
-use crate::peel::Peeling;
+use crate::peel::{peel_with_sink, FrontierOptions, PeelSink, Peeling};
 use crate::skeleton::Skeleton;
-use crate::space::PeelSpace;
+use crate::space::{PeelBackend, PeelCells, PeelSpace};
 
 /// Counters reported alongside the FND hierarchy (Table 3 columns).
 #[derive(Clone, Copy, Debug, Default)]
@@ -176,6 +198,178 @@ pub fn fnd_with_options<S: PeelSpace>(space: &S, options: FndOptions) -> FndOutc
     }
 }
 
+/// The FND peel sink: classifies each peeled cell's containers exactly
+/// as the serial loop does, but against the engine's `(stamp, id)`
+/// processed-before order — unions into the concurrent cell-level DSU,
+/// adjacency intents into per-worker parts.
+struct FndSink {
+    /// Same-λ connectivity over *cells*; one final component per
+    /// (possibly non-maximal) sub-nucleus.
+    dsu: ConcurrentSets,
+    /// `(higher-λ cell, lower-λ cell)` adjacency intents, in the
+    /// engine's deterministic emission order; resolved to sub-nucleus
+    /// pairs by the finalize pass.
+    adj: Vec<(u32, u32)>,
+}
+
+impl<B: PeelBackend + ?Sized> PeelSink<B> for FndSink {
+    type Part = Vec<(u32, u32)>;
+
+    fn new_part(&self) -> Self::Part {
+        Vec::new()
+    }
+
+    #[inline]
+    fn scan_cell<D: Fn(u32) -> bool>(
+        &self,
+        space: &B,
+        cells: &PeelCells,
+        lambda: &[u32],
+        u: u32,
+        level: u32,
+        stamp: u32,
+        dec: &D,
+        next: &mut Vec<u32>,
+        part: &mut Self::Part,
+    ) {
+        space.for_each_container(u, |others| {
+            // Find the processed co-cell of minimum λ (Alg. 8 lines
+            // 14-15), "processed" meaning before `u` in (stamp, id)
+            // order — ALIVE is u32::MAX, so unpeeled cells sort last.
+            let mut w = NO_NODE;
+            let mut w_lambda = u32::MAX;
+            for &v in others {
+                let s = cells.stamp(v);
+                if s < stamp || (s == stamp && v < u) {
+                    let lv = lambda[v as usize];
+                    if lv < w_lambda {
+                        w_lambda = lv;
+                        w = v;
+                    }
+                }
+            }
+            if w == NO_NODE {
+                // u is the container's first-processed cell: it owns
+                // the ordinary peeling decrements (lines 10-12).
+                for &v in others {
+                    if dec(v) {
+                        next.push(v);
+                    }
+                }
+            } else if w_lambda == level {
+                // Strong connection at this level (lines 16-17).
+                self.dsu.union(u, w);
+            } else {
+                // λ(w) < λ(u): containment, deferred (line 18).
+                debug_assert!(w_lambda < level);
+                part.push((u, w));
+            }
+        });
+    }
+
+    fn absorb_part(&mut self, mut part: Self::Part) {
+        self.adj.append(&mut part);
+    }
+}
+
+/// Runs FastNucleusDecomposition through the frontier-parallel engine
+/// with default [`FndOptions`]. See [`fnd_parallel_with`].
+pub fn fnd_parallel<S: PeelSpace + Sync>(space: &S, threads: usize) -> FndOutcome {
+    fnd_parallel_with(
+        space,
+        FndOptions::default(),
+        FrontierOptions {
+            threads,
+            ..FrontierOptions::default()
+        },
+    )
+}
+
+/// Runs FastNucleusDecomposition on top of the frontier-parallel
+/// peeling engine: λ-level rounds peel in parallel while a classifying
+/// sink inspects containers on the fly, then a sequential finalize merges
+/// the classified structure into the same canonical [`Hierarchy`] the
+/// serial [`fnd`] produces (the peeling *order* differs within levels —
+/// rounds emit ascending ids, the bucket queue its own positions — but
+/// λ values and the hierarchy are identical).
+///
+/// ```
+/// use nucleus_core::algo::fnd::{fnd, fnd_parallel};
+/// use nucleus_core::space::{EdgeSpace, MaterializedSpace};
+///
+/// let g = nucleus_gen::paper::fig3_bowtie();
+/// let es = EdgeSpace::new(&g);
+/// let m = MaterializedSpace::new(&es);
+/// assert_eq!(fnd_parallel(&m, 2).hierarchy, fnd(&es).hierarchy);
+/// ```
+pub fn fnd_parallel_with<S: PeelSpace + Sync>(
+    space: &S,
+    options: FndOptions,
+    frontier: FrontierOptions,
+) -> FndOutcome {
+    let t0 = Instant::now();
+    let n = space.cell_count();
+    let mut sink = FndSink {
+        dsu: ConcurrentSets::new(n),
+        adj: Vec::new(),
+    };
+    let peeling = peel_with_sink(space, frontier, &mut sink);
+    let peel_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    // Finalize: one sub-nucleus per same-λ DSU component, allocated in
+    // emission order so ids are deterministic across thread counts.
+    let mut sk = Skeleton::new(n);
+    let mut sn_of_root: Vec<u32> = vec![NO_NODE; n];
+    for &u in &peeling.order {
+        let k = peeling.lambda[u as usize];
+        if k == 0 {
+            // λ = 0 cells appear in no container; they carry no
+            // sub-nucleus in the serial loop either (Alg. 8 line 19
+            // runs only for k > 0).
+            continue;
+        }
+        let root = sink.dsu.find(u) as usize;
+        if sn_of_root[root] == NO_NODE {
+            sn_of_root[root] = sk.new_subnucleus(k);
+        }
+        sk.comp[u as usize] = sn_of_root[root];
+    }
+    // Resolve adjacency intents to sub-nucleus pairs; both endpoints
+    // have λ ≥ 1, so both components were assigned above.
+    let mut adj: Vec<(u32, u32)> = Vec::with_capacity(sink.adj.len());
+    for &(hi, lo) in &sink.adj {
+        let pair = (sk.comp[hi as usize], sk.comp[lo as usize]);
+        debug_assert_ne!(pair.0, NO_NODE);
+        debug_assert_ne!(pair.1, NO_NODE);
+        if !(options.dedup_adjacent && adj.last() == Some(&pair)) {
+            adj.push(pair);
+        }
+    }
+    build_hierarchy(&mut sk, &adj, peeling.max_lambda);
+    let stats = FndStats {
+        subnuclei: sk.len(),
+        adj_connections: adj.len(),
+    };
+    drop(adj);
+    let raw = sk.into_raw();
+    let hierarchy = raw.into_hierarchy(
+        space.r(),
+        space.s(),
+        peeling.lambda.clone(),
+        peeling.max_lambda,
+    );
+    let post_time = t1.elapsed();
+
+    FndOutcome {
+        peeling,
+        hierarchy,
+        stats,
+        peel_time,
+        post_time,
+    }
+}
+
 /// `BuildHierarchy` (Algorithm 9): bin the `ADJ` pairs by the λ of their
 /// lower side and process bins in decreasing λ, attaching or merging
 /// greatest ancestors — the same bottom-up discipline as DF-Traversal.
@@ -290,6 +484,64 @@ mod tests {
             FndOptions {
                 dedup_adjacent: true,
             },
+        );
+        assert_eq!(raw.hierarchy, deduped.hierarchy);
+        assert!(deduped.stats.adj_connections <= raw.stats.adj_connections);
+    }
+
+    /// Parallel FND must produce the serial hierarchy bit for bit —
+    /// across thread counts, with the spawn path forced, and with the
+    /// hybrid drain off, always-on, and mixed.
+    fn check_parallel_matches_serial(g: &nucleus_graph::CsrGraph) {
+        fn check<S: crate::space::PeelSpace + Sync>(space: &S) {
+            let serial = fnd(space);
+            let m = crate::space::MaterializedSpace::new(space);
+            for serial_round_threshold in [0, 3, usize::MAX] {
+                for threads in [1, 2, 8] {
+                    let fopts = crate::peel::FrontierOptions {
+                        threads,
+                        min_parallel_work: 0,
+                        serial_round_threshold,
+                    };
+                    let par = fnd_parallel_with(&m, FndOptions::default(), fopts);
+                    let tag = format!("{threads} threads, drain < {serial_round_threshold}");
+                    assert_eq!(par.peeling.lambda, serial.peeling.lambda, "λ, {tag}");
+                    assert_eq!(par.hierarchy, serial.hierarchy, "hierarchy, {tag}");
+                    par.hierarchy.validate().expect("valid parallel hierarchy");
+                }
+            }
+        }
+        check(&VertexSpace::new(g));
+        check(&EdgeSpace::new(g));
+        check(&TriangleSpace::new(g));
+    }
+
+    #[test]
+    fn parallel_fnd_matches_serial_hierarchy() {
+        check_parallel_matches_serial(&test_graphs::nested_cores());
+        check_parallel_matches_serial(&nucleus_gen::paper::fig2_two_three_cores());
+        check_parallel_matches_serial(&nucleus_gen::paper::fig3_bowtie());
+        check_parallel_matches_serial(&nucleus_gen::karate::karate_club());
+        check_parallel_matches_serial(&nucleus_gen::classic::star(6));
+    }
+
+    #[test]
+    fn parallel_fnd_dedup_preserves_hierarchy() {
+        let g = nucleus_gen::karate::karate_club();
+        let es = EdgeSpace::new(&g);
+        let m = crate::space::MaterializedSpace::new(&es);
+        let fopts = crate::peel::FrontierOptions {
+            threads: 2,
+            min_parallel_work: 0,
+            serial_round_threshold: 0,
+        };
+        let raw = fnd_parallel_with(&m, FndOptions::default(), fopts);
+        let deduped = fnd_parallel_with(
+            &m,
+            FndOptions {
+                dedup_adjacent: true,
+            },
+            fopts,
         );
         assert_eq!(raw.hierarchy, deduped.hierarchy);
         assert!(deduped.stats.adj_connections <= raw.stats.adj_connections);

@@ -240,27 +240,32 @@ impl std::fmt::Display for Backend {
 pub enum PeelEngine {
     /// The classic sequential bucket-queue loop ([`crate::peel::peel`]).
     Serial,
-    /// Frontier-parallel `Set-λ` ([`crate::peel::peel_parallel`]):
-    /// whole λ-level rounds, decrements applied concurrently. Requires
-    /// the materialized backend (selecting it with [`Backend::Auto`]
+    /// Frontier-parallel `Set-λ` ([`crate::peel::peel_parallel`]) with
+    /// hybrid serial drains for sub-threshold levels: whole λ-level
+    /// rounds, decrements applied concurrently. Requires the
+    /// materialized backend (selecting it with [`Backend::Auto`]
     /// forces materialization regardless of the size cap; combining it
-    /// with an explicit [`Backend::Lazy`] is an error) and only applies
-    /// to algorithms that consume a finished peeling
-    /// ([`Algorithm::Naive`], [`Algorithm::Dft`]) — FND interleaves
-    /// hierarchy construction with the pops and LCPS walks the graph
-    /// directly, so both reject it.
+    /// with an explicit [`Backend::Lazy`] is an error). Drives every
+    /// peeling-based algorithm — [`Algorithm::Naive`] and
+    /// [`Algorithm::Dft`] consume the finished peeling, and
+    /// [`Algorithm::Fnd`] classifies containers inside the rounds
+    /// ([`crate::algo::fnd::fnd_parallel_with`]) — only
+    /// [`Algorithm::Lcps`] rejects it (it walks the graph directly and
+    /// never runs `Set-λ`).
     Frontier,
     /// Pick automatically: `Frontier` when the run is materialized,
-    /// more than one worker thread is available and the algorithm can
-    /// consume an externally produced peeling; `Serial` otherwise.
+    /// more than one worker thread is available and the algorithm runs
+    /// `Set-λ` at all (Naive, DFT, FND); `Serial` otherwise.
     #[default]
     Auto,
 }
 
 impl PeelEngine {
-    /// Whether the engine/algorithm pair is expressible at all.
+    /// Whether the engine/algorithm pair is expressible at all — the
+    /// frontier engine drives everything that peels; only LCPS (which
+    /// never runs `Set-λ`) is out.
     pub(crate) fn supports(self, algorithm: Algorithm) -> bool {
-        self != PeelEngine::Frontier || matches!(algorithm, Algorithm::Naive | Algorithm::Dft)
+        self != PeelEngine::Frontier || algorithm != Algorithm::Lcps
     }
 
     /// Resolves `Auto` for a concrete run. `materialized` is the
@@ -275,7 +280,10 @@ impl PeelEngine {
             PeelEngine::Auto => {
                 if materialized
                     && threads > 1
-                    && matches!(algorithm, Algorithm::Naive | Algorithm::Dft)
+                    && matches!(
+                        algorithm,
+                        Algorithm::Naive | Algorithm::Dft | Algorithm::Fnd
+                    )
                 {
                     PeelEngine::Frontier
                 } else {
@@ -327,6 +335,11 @@ pub struct DecomposeOptions {
     /// and parallel ω counting where a space supports it. `0` means
     /// "all available CPUs".
     pub threads: usize,
+    /// Hybrid-round threshold for the frontier engine: frontiers
+    /// smaller than this drain the rest of their λ-level serially
+    /// ([`crate::peel::FrontierOptions::serial_round_threshold`]).
+    /// `0` disables the fallback; ignored by the serial engine.
+    pub frontier_serial_below: usize,
 }
 
 impl Default for DecomposeOptions {
@@ -335,6 +348,7 @@ impl Default for DecomposeOptions {
             backend: Backend::Auto,
             engine: PeelEngine::Auto,
             threads: 0,
+            frontier_serial_below: crate::peel::FrontierOptions::DEFAULT_SERIAL_ROUND_THRESHOLD,
         }
     }
 }
@@ -428,9 +442,8 @@ pub fn decompose(
 /// * [`CoreError::UnsupportedAlgorithm`] when `algorithm` is
 ///   [`Algorithm::Lcps`] and `kind` is not [`Kind::Core`];
 /// * [`CoreError::InvalidOptions`] when [`PeelEngine::Frontier`] is
-///   requested together with an algorithm that cannot consume an
-///   externally produced peeling (FND, LCPS) or with an explicit
-///   [`Backend::Lazy`].
+///   requested together with [`Algorithm::Lcps`] (which never runs
+///   `Set-λ`) or with an explicit [`Backend::Lazy`].
 pub fn decompose_with(
     g: &CsrGraph,
     kind: Kind,
@@ -454,6 +467,7 @@ pub fn decompose_with(
         .backend(backend)
         .engine(options.engine)
         .threads(options.threads)
+        .frontier_serial_below(options.frontier_serial_below)
         .prepare()?
         .run(algorithm)
 }
@@ -550,6 +564,7 @@ mod tests {
                         // (strict order equality needs one engine)
                         engine: PeelEngine::Serial,
                         threads: 2,
+                        ..DecomposeOptions::default()
                     },
                 )
                 .expect("lazy");
@@ -561,6 +576,7 @@ mod tests {
                         backend: Backend::Materialized,
                         engine: PeelEngine::Serial,
                         threads: 2,
+                        ..DecomposeOptions::default()
                     },
                 )
                 .expect("materialized");
@@ -612,7 +628,7 @@ mod tests {
     fn engines_produce_identical_decompositions() {
         let g = test_graphs::nested_cores();
         for kind in Kind::all() {
-            for &algo in &[Algorithm::Naive, Algorithm::Dft] {
+            for &algo in &[Algorithm::Naive, Algorithm::Dft, Algorithm::Fnd] {
                 let serial = decompose_with(
                     &g,
                     kind,
@@ -657,23 +673,51 @@ mod tests {
             backend,
             engine: PeelEngine::Frontier,
             threads: 2,
+            ..DecomposeOptions::default()
         };
-        let err =
-            decompose_with(&g, Kind::Core, Algorithm::Fnd, frontier(Backend::Auto)).unwrap_err();
-        assert!(matches!(err, CoreError::InvalidOptions { .. }), "{err}");
-        assert!(format!("{err}").contains("frontier"));
+        // FND now rides the frontier engine; only LCPS and the lazy
+        // backend remain genuinely incompatible.
+        decompose_with(&g, Kind::Core, Algorithm::Fnd, frontier(Backend::Auto))
+            .expect("frontier FND is a supported combination");
         let err =
             decompose_with(&g, Kind::Core, Algorithm::Lcps, frontier(Backend::Auto)).unwrap_err();
         assert!(matches!(err, CoreError::InvalidOptions { .. }), "{err}");
+        assert!(format!("{err}").contains("LCPS"), "{err}");
         let err =
             decompose_with(&g, Kind::Truss, Algorithm::Dft, frontier(Backend::Lazy)).unwrap_err();
         assert!(format!("{err}").contains("materialized"), "{err}");
     }
 
+    /// Pins Auto's full resolution matrix (algorithm × backend ×
+    /// threads) so a future engine can't silently change defaults.
+    #[test]
+    fn auto_engine_resolution_matrix() {
+        use PeelEngine::{Frontier, Serial};
+        for algo in Algorithm::ALL {
+            for materialized in [false, true] {
+                for threads in [1, 2, 8] {
+                    let expected = if materialized && threads > 1 && algo != Algorithm::Lcps {
+                        Frontier
+                    } else {
+                        Serial
+                    };
+                    assert_eq!(
+                        PeelEngine::Auto.resolve(algo, materialized, threads),
+                        expected,
+                        "auto({algo}, materialized={materialized}, threads={threads})"
+                    );
+                    // explicit choices always resolve to themselves
+                    assert_eq!(Serial.resolve(algo, materialized, threads), Serial);
+                    assert_eq!(Frontier.resolve(algo, materialized, threads), Frontier);
+                }
+            }
+        }
+    }
+
     #[test]
     fn auto_engine_resolution_policy() {
         // Auto picks Frontier only for materialized multi-thread
-        // Naive/DFT runs, Serial everywhere else.
+        // Set-λ runs (Naive/DFT/FND), Serial everywhere else.
         let auto = PeelEngine::Auto;
         assert_eq!(auto.resolve(Algorithm::Dft, true, 4), PeelEngine::Frontier);
         assert_eq!(
@@ -682,7 +726,8 @@ mod tests {
         );
         assert_eq!(auto.resolve(Algorithm::Dft, true, 1), PeelEngine::Serial);
         assert_eq!(auto.resolve(Algorithm::Dft, false, 4), PeelEngine::Serial);
-        assert_eq!(auto.resolve(Algorithm::Fnd, true, 4), PeelEngine::Serial);
+        assert_eq!(auto.resolve(Algorithm::Fnd, true, 4), PeelEngine::Frontier);
+        assert_eq!(auto.resolve(Algorithm::Fnd, true, 1), PeelEngine::Serial);
         assert_eq!(auto.resolve(Algorithm::Lcps, true, 4), PeelEngine::Serial);
         // explicit choices resolve to themselves
         assert_eq!(
@@ -695,19 +740,30 @@ mod tests {
         );
         // the decomposition reports the resolved engine
         let g = test_graphs::nested_cores();
+        for algo in [Algorithm::Dft, Algorithm::Fnd] {
+            let d = decompose_with(
+                &g,
+                Kind::Core,
+                algo,
+                DecomposeOptions {
+                    engine: PeelEngine::Auto,
+                    threads: 2,
+                    ..DecomposeOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(d.engine, PeelEngine::Frontier, "{algo}");
+        }
         let d = decompose_with(
             &g,
             Kind::Core,
-            Algorithm::Dft,
+            Algorithm::Fnd,
             DecomposeOptions {
-                engine: PeelEngine::Auto,
-                threads: 2,
+                threads: 1,
                 ..DecomposeOptions::default()
             },
         )
         .unwrap();
-        assert_eq!(d.engine, PeelEngine::Frontier);
-        let d = decompose(&g, Kind::Core, Algorithm::Fnd).unwrap();
         assert_eq!(d.engine, PeelEngine::Serial);
         assert_eq!(format!("{}", PeelEngine::Auto), "auto");
         assert_eq!(format!("{}", PeelEngine::Frontier), "frontier");

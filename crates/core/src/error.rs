@@ -15,8 +15,8 @@ pub enum CoreError {
     },
     /// The requested [`crate::decompose::DecomposeOptions`] combination
     /// is contradictory (e.g. the frontier peeling engine with the lazy
-    /// backend, or with FND, which interleaves hierarchy construction
-    /// with the serial peel).
+    /// backend, or with LCPS, which walks the graph directly and never
+    /// peels).
     InvalidOptions {
         /// Human-readable explanation of the conflict.
         reason: String,

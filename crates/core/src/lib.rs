@@ -63,14 +63,18 @@ pub use decompose::{
 };
 pub use error::CoreError;
 pub use hierarchy::{Hierarchy, HierarchyNode};
-pub use peel::{peel, peel_parallel, peel_parallel_with, FrontierOptions, Peeling};
+pub use peel::{
+    peel, peel_parallel, peel_parallel_with, peel_with_sink, FrontierOptions, PeelSink, Peeling,
+};
 pub use persist::PreparedIndex;
 pub use plan::Plan;
 pub use session::{Nucleus, NucleusBuilder, Prepared};
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::algo::fnd::{fnd, fnd_with_options, FndOptions};
+    pub use crate::algo::fnd::{
+        fnd, fnd_parallel, fnd_parallel_with, fnd_with_options, FndOptions,
+    };
     pub use crate::algo::lcps::lcps;
     pub use crate::algo::tcp::{tcp_query, TcpIndex};
     pub use crate::analytics::{skeleton_profile, SkeletonProfile};
@@ -81,7 +85,9 @@ pub mod prelude {
     pub use crate::export::{extract_nucleus, hierarchy_to_dot, ExtractedSubgraph};
     pub use crate::hierarchy::{Hierarchy, HierarchyNode};
     pub use crate::maintenance::DynamicCores;
-    pub use crate::peel::{peel, peel_parallel, peel_parallel_with, FrontierOptions, Peeling};
+    pub use crate::peel::{
+        peel, peel_parallel, peel_parallel_with, peel_with_sink, FrontierOptions, PeelSink, Peeling,
+    };
     pub use crate::persist::PreparedIndex;
     pub use crate::plan::Plan;
     pub use crate::report::{describe, nucleus_vertices, render_tree, summarize_nucleus};

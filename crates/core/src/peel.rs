@@ -33,9 +33,55 @@
 //! engine's bit for bit (the decomposition is unique), and the order
 //! itself is identical for every thread count, because frontier
 //! *membership* is determined at round barriers, not by thread timing.
-//! FND is the one algorithm that cannot ride on top: Alg. 8 interleaves
-//! hierarchy construction with the pops themselves, so it stays on the
-//! serial engine.
+//!
+//! # Hybrid rounds
+//!
+//! On heavy-tailed (R-MAT-style) inputs, dense cores degenerate into
+//! long cascades of tiny frontiers, and per-round overhead (barrier,
+//! sort, work-estimate) outweighs the batching win. The engine is
+//! therefore hybrid, with two serial fallbacks keyed off
+//! [`FrontierOptions::serial_round_threshold`]:
+//!
+//! * A **mid-level** frontier falling below the threshold drains the
+//!   rest of its λ-level through a FIFO worklist over the same packed
+//!   cell words — each drained cell gets a fresh, unique round stamp at
+//!   discovery, so the stamp order stays a total processed-before order
+//!   and every invariant above carries over unchanged.
+//! * A λ-level whose **opening** frontier holds less than [an eighth]
+//!   of the remaining cells signals the heavy-tail regime: the rest of
+//!   the peel is a long ladder of small levels, where both the rounds
+//!   *and* the per-level `alive` compaction scan (O(alive) per level)
+//!   cost more than the serial loop. The engine then abandons rounds
+//!   entirely and **drains the whole residual** through the same
+//!   bucket queue the serial engine uses — on R-MAT-style inputs this
+//!   fires on the very first level (which opens with ~10% of cells,
+//!   vs. 74–99% for ER/BA), while wide-opening inputs never trigger it
+//!   and keep the full frontier win. When the *first* level already
+//!   opens that narrow, non-classifying sinks (the plain peel) don't
+//!   even build the engine's per-cell state: the first frontier's size
+//!   falls out of the initial degree-partition scan, and the run is
+//!   handed to the serial engine wholesale, making the heavy-tail worst
+//!   case cost within a few percent of [`peel`] itself.
+//!
+//! Both decisions depend only on frontier sizes, never thread timing,
+//! so determinism across thread counts is preserved.
+//!
+//! [an eighth]: RESIDUAL_OPENING_FRACTION
+//!
+//! # Riding algorithms: the sink seam
+//!
+//! The driver is generic over a [`PeelSink`]: per peeled cell it hands
+//! the sink the container scan, with `(stamp, id)` lexicographic order
+//! (the emission order) as the processed-before relation. The plain
+//! sink reproduces `Set-λ` decrements; FND
+//! ([`crate::algo::fnd::fnd_parallel_with`]) plugs in a classifying
+//! sink that additionally unions same-λ cells through a lock-free
+//! [`nucleus_dsf::ConcurrentSets`] and records cross-λ adjacencies —
+//! which is how Alg. 8, order-sequential in its textbook form, rides
+//! the frontier engine: classification per container is independent of
+//! *which* λ-monotone serialization the stamps encode, so the level
+//! partitions and the canonical hierarchy come out identical to the
+//! serial engine's.
 //!
 //! The frontier engine assumes container enumeration is cheap enough to
 //! repeat per round participant — run it over a
@@ -43,6 +89,8 @@
 //! which is how [`crate::decompose::PeelEngine::Frontier`] wires it.
 //!
 //! [`ContainerIndex`]: crate::space::ContainerIndex
+
+use std::cell::Cell;
 
 use nucleus_cliques::balanced_ranges;
 use nucleus_graph::bucket::PeelBuckets;
@@ -102,8 +150,16 @@ impl Peeling {
 /// assert_eq!(truss.lambda_of(g.edge_id(2, 3).unwrap()), 0);
 /// ```
 pub fn peel<B: PeelBackend>(space: &B) -> Peeling {
+    let degrees = space.degrees();
+    peel_serial_with_degrees(space, degrees)
+}
+
+/// [`peel`] with the initial ω values already in hand — lets the hybrid
+/// engine hand over a `degrees` vector it has computed anyway when it
+/// bails to the serial engine wholesale (see [`peel_with_sink`]).
+fn peel_serial_with_degrees<B: PeelBackend>(space: &B, degrees: Vec<u32>) -> Peeling {
     let n = space.cell_count();
-    let mut q = PeelBuckets::new(space.degrees());
+    let mut q = PeelBuckets::new(degrees);
     let mut lambda = vec![0u32; n];
     let mut order = Vec::with_capacity(n);
     let mut max_lambda = 0u32;
@@ -143,6 +199,18 @@ pub struct FrontierOptions {
     /// every round through the spawn path (the equivalence tests do,
     /// so the concurrent code path is exercised on tiny graphs).
     pub min_parallel_work: usize,
+    /// Hybrid fallback: when a mid-level frontier holds fewer cells
+    /// than this, the rest of its λ-level drains through a serial FIFO
+    /// worklist instead of parallel rounds (see the module docs) —
+    /// tiny-frontier cascades cost more in round overhead than they
+    /// gain in batching. `0` disables the hybrid fallbacks entirely
+    /// (pure frontier rounds), including the whole-residual switch on
+    /// narrow *level openings* ([`RESIDUAL_OPENING_FRACTION`]), which
+    /// is otherwise relative to the remaining cell count rather than
+    /// sized by this threshold. The default (64) is sized so the
+    /// drained levels are the ones whose whole cascade is cheaper than
+    /// one round's sort-and-restamp machinery.
+    pub serial_round_threshold: usize,
 }
 
 impl Default for FrontierOptions {
@@ -150,11 +218,26 @@ impl Default for FrontierOptions {
         FrontierOptions {
             threads: 0,
             min_parallel_work: 1 << 14,
+            serial_round_threshold: Self::DEFAULT_SERIAL_ROUND_THRESHOLD,
         }
     }
 }
 
+/// Whole-residual switch trigger: when a λ-level *opens* with fewer
+/// than `1/RESIDUAL_OPENING_FRACTION` of the cells still unpeeled, the
+/// engine abandons rounds and hands everything that remains to a serial
+/// bucket queue. Heavy-tailed inputs (R-MAT) open their first level
+/// with ~10% of the cells and then decay; wide-opening inputs (ER, BA)
+/// open with 70–99%, so the relative test separates the two regimes on
+/// the very first level instead of waiting for an absolute frontier
+/// size that scales poorly across graph sizes.
+pub const RESIDUAL_OPENING_FRACTION: usize = 8;
+
 impl FrontierOptions {
+    /// Default [`FrontierOptions::serial_round_threshold`], shared with
+    /// [`crate::decompose::DecomposeOptions`] and the CLI flag default.
+    pub const DEFAULT_SERIAL_ROUND_THRESHOLD: usize = 64;
+
     /// The thread count with `0` resolved to the CPU count.
     fn effective_threads(&self) -> usize {
         if self.threads > 0 {
@@ -199,12 +282,120 @@ pub fn peel_parallel<B: PeelBackend + Sync>(space: &B, threads: usize) -> Peelin
 
 /// [`peel_parallel`] with explicit [`FrontierOptions`].
 pub fn peel_parallel_with<B: PeelBackend + Sync>(space: &B, options: FrontierOptions) -> Peeling {
+    peel_with_sink(space, options, &mut PlainSink)
+}
+
+/// What a riding algorithm does with each peeled cell's containers.
+///
+/// The driver ([`peel_with_sink`]) calls [`scan_cell`] once per peeled
+/// cell — from worker threads during parallel rounds, from the calling
+/// thread during inline rounds and serial drains — and hands it the
+/// processed-before relation as `(stamp, id)` lexicographic order:
+/// co-cell `v` precedes `u` iff `stamp(v) < stamp` or
+/// `stamp(v) == stamp && v < u` (unpeeled cells carry the
+/// [`PeelCells::ALIVE`] sentinel, which sorts last). Whatever the sink
+/// wants to keep beyond `next`-frontier membership it accumulates in a
+/// per-worker [`Part`], which the driver feeds back through
+/// [`absorb_part`] in deterministic (range) order after each round.
+///
+/// [`scan_cell`]: PeelSink::scan_cell
+/// [`Part`]: PeelSink::Part
+/// [`absorb_part`]: PeelSink::absorb_part
+pub trait PeelSink<B: PeelBackend + ?Sized>: Sync {
+    /// Whether [`scan_cell`] consumes the processed-before stamps (and
+    /// anything else beyond the `dec` calls and `next` pushes). `true`
+    /// for classifying sinks like FND. A sink may set this to `false`
+    /// only if `scan_cell`'s entire observable effect is applying
+    /// container decrements — the whole-residual hybrid drain then
+    /// skips the sink and runs the serial engine's plain bucket loop,
+    /// with no stamp maintenance at all.
+    ///
+    /// [`scan_cell`]: PeelSink::scan_cell
+    const CLASSIFIES: bool = true;
+
+    /// Per-worker accumulator, concatenated in range order.
+    type Part: Send;
+
+    /// A fresh, empty accumulator.
+    fn new_part(&self) -> Self::Part;
+
+    /// Processes the containers of the just-peeled cell `u` (peeled at
+    /// λ-level `level` with round stamp `stamp`). `dec` applies the
+    /// saturating ω decrement and reports `true` when its target just
+    /// dropped to `level` — such cells must be pushed to `next`.
+    #[allow(clippy::too_many_arguments)] // internal seam: one impl per algorithm
+    fn scan_cell<D: Fn(u32) -> bool>(
+        &self,
+        space: &B,
+        cells: &PeelCells,
+        lambda: &[u32],
+        u: u32,
+        level: u32,
+        stamp: u32,
+        dec: &D,
+        next: &mut Vec<u32>,
+        part: &mut Self::Part,
+    );
+
+    /// Folds one worker's accumulator back into the sink.
+    fn absorb_part(&mut self, part: Self::Part);
+}
+
+/// The plain `Set-λ` sink: container decrements only, nothing kept.
+struct PlainSink;
+
+impl<B: PeelBackend + ?Sized> PeelSink<B> for PlainSink {
+    const CLASSIFIES: bool = false;
+
+    type Part = ();
+
+    fn new_part(&self) {}
+
+    #[inline]
+    fn scan_cell<D: Fn(u32) -> bool>(
+        &self,
+        space: &B,
+        cells: &PeelCells,
+        _lambda: &[u32],
+        u: u32,
+        _level: u32,
+        stamp: u32,
+        dec: &D,
+        next: &mut Vec<u32>,
+        _part: &mut (),
+    ) {
+        space.for_each_container(u, |others| {
+            for &v in others {
+                let s = cells.stamp(v);
+                if s < stamp {
+                    return; // container died with an earlier cell
+                }
+                if s == stamp && v < u {
+                    return; // same-round co-cell with smaller id owns it
+                }
+            }
+            for &v in others {
+                if dec(v) {
+                    next.push(v);
+                }
+            }
+        });
+    }
+
+    fn absorb_part(&mut self, _part: ()) {}
+}
+
+/// The engine core behind [`peel_parallel_with`] and
+/// [`crate::algo::fnd::fnd_parallel_with`]: frontier rounds plus the
+/// hybrid serial drain, generic over the per-cell [`PeelSink`].
+pub fn peel_with_sink<B: PeelBackend + Sync, S: PeelSink<B>>(
+    space: &B,
+    options: FrontierOptions,
+    sink: &mut S,
+) -> Peeling {
     let n = space.cell_count();
     let threads = options.effective_threads();
     let degrees = space.degrees();
-    // Packed (processed-round, live ω) word per cell — one cache-line
-    // touch answers both hot-loop questions (see PeelCells).
-    let cells = PeelCells::new(&degrees);
     let mut lambda = vec![0u32; n];
     let mut order: Vec<u32> = Vec::with_capacity(n);
     let mut max_lambda = 0u32;
@@ -213,17 +404,45 @@ pub fn peel_parallel_with<B: PeelBackend + Sync>(space: &B, options: FrontierOpt
     // them directly, in the same ascending order the level-0 frontier
     // would produce. Everything else enters the alive list, compacted
     // on every level-opening scan; `k` starts at the smallest live ω.
+    // The same pass counts how many cells sit exactly at that minimum —
+    // the first λ level's opening frontier, known before any engine
+    // state exists.
     let mut alive: Vec<u32> = Vec::with_capacity(n);
     let mut k = u32::MAX;
+    let mut first = 0usize;
     for u in 0..n as u32 {
         let d = degrees[u as usize];
         if d == 0 {
             order.push(u);
         } else {
             alive.push(u);
-            k = k.min(d);
+            match d.cmp(&k) {
+                std::cmp::Ordering::Less => {
+                    k = d;
+                    first = 1;
+                }
+                std::cmp::Ordering::Equal => first += 1,
+                std::cmp::Ordering::Greater => {}
+            }
         }
     }
+    if !S::CLASSIFIES
+        && options.serial_round_threshold > 0
+        && first * RESIDUAL_OPENING_FRACTION < alive.len()
+    {
+        // The very first λ level already opens with less than a
+        // [`RESIDUAL_OPENING_FRACTION`]th of the live cells: the whole
+        // peel is heavy-tail, and every round the engine could run is on
+        // the losing side of the residual switch below. For sinks that
+        // observe nothing (the plain peel) drop the engine before its
+        // per-cell state is even allocated and run the serial engine on
+        // the degrees it would have used — free on the path that keeps
+        // the engine (the counting rides the partition scan above).
+        return peel_serial_with_degrees(space, degrees);
+    }
+    // Packed (processed-round, live ω) word per cell — one cache-line
+    // touch answers both hot-loop questions (see PeelCells).
+    let cells = PeelCells::new(&degrees);
     let mut frontier: Vec<u32> = Vec::new();
     let mut next: Vec<u32> = Vec::new();
     let mut round = 0u32;
@@ -254,19 +473,66 @@ pub fn peel_parallel_with<B: PeelBackend + Sync>(space: &B, options: FrontierOpt
             k = min_above;
             continue;
         }
+        if options.serial_round_threshold > 0
+            && frontier.len() * RESIDUAL_OPENING_FRACTION < frontier.len() + alive.len()
+        {
+            // The level opens with a sliver of what remains: heavy-tail
+            // regime. Finish the whole peel through the serial bucket
+            // queue — no more level-opening scans, no more rounds. (A
+            // first level this narrow never reaches here for plain
+            // sinks — the pre-flight above already bailed to the serial
+            // engine — so this switch serves classifying sinks from the
+            // start and every sink once the tail emerges mid-peel.)
+            order.extend_from_slice(&frontier);
+            max_lambda = k;
+            drain_residual(
+                space,
+                &cells,
+                &mut lambda,
+                &mut order,
+                &mut max_lambda,
+                &frontier,
+                &alive,
+                k,
+                round,
+                sink,
+            );
+            debug_assert_eq!(order.len(), n, "residual drain left cells unprocessed");
+            break;
+        }
         loop {
             order.extend_from_slice(&frontier);
             max_lambda = k;
+            if options.serial_round_threshold > 0 && frontier.len() < options.serial_round_threshold
+            {
+                // Hybrid fallback: this frontier (and whatever cascade
+                // it triggers) is too small for round machinery — drain
+                // the rest of the level serially. The drain stamps each
+                // discovered cell with a fresh round, so `round` jumps.
+                round = drain_level(
+                    space,
+                    &cells,
+                    &mut lambda,
+                    &mut order,
+                    &frontier,
+                    k,
+                    round,
+                    sink,
+                );
+                break;
+            }
             next.clear();
             frontier_round(
                 space,
                 &cells,
                 &frontier,
+                &lambda,
                 &degrees,
                 k,
                 round,
                 threads,
                 options.min_parallel_work,
+                sink,
                 &mut next,
             );
             round += 1;
@@ -293,21 +559,310 @@ pub fn peel_parallel_with<B: PeelBackend + Sync>(space: &B, options: FrontierOpt
     }
 }
 
+/// Serially exhausts λ-level `k`: processes the (already stamped,
+/// ascending-id) `seed` frontier and every cell it cascades onto
+/// through a FIFO worklist. Each discovered cell is stamped with a
+/// fresh, unique round at discovery and emitted there, so processing
+/// order equals stamp order and `(stamp, id)` stays a total
+/// processed-before order — the sink sees exactly the same contract as
+/// in parallel rounds. Returns the next unused round number.
+#[allow(clippy::too_many_arguments)] // internal: single call site
+fn drain_level<B: PeelBackend + Sync, S: PeelSink<B>>(
+    space: &B,
+    cells: &PeelCells,
+    lambda: &mut [u32],
+    order: &mut Vec<u32>,
+    seed: &[u32],
+    k: u32,
+    round: u32,
+    sink: &mut S,
+) -> u32 {
+    let mut pending: Vec<u32> = seed.to_vec();
+    let mut head = 0usize;
+    let mut next_stamp = round + 1;
+    let mut part = sink.new_part();
+    let mut next: Vec<u32> = Vec::new();
+    let dec = |v: u32| cells.dec_above(v, k);
+    while head < pending.len() {
+        let u = pending[head];
+        head += 1;
+        let stamp = cells.stamp(u);
+        next.clear();
+        sink.scan_cell(
+            space, cells, lambda, u, k, stamp, &dec, &mut next, &mut part,
+        );
+        for &v in &next {
+            cells.mark(v, next_stamp);
+            next_stamp += 1;
+            lambda[v as usize] = k;
+            order.push(v);
+            pending.push(v);
+        }
+    }
+    sink.absorb_part(part);
+    next_stamp
+}
+
+/// Batagelj–Zaversnik bucket queue over the *residual* subset of cells,
+/// used by the whole-residual hybrid drain. Same array layout and
+/// laziness invariant as [`PeelBuckets`], with two differences that
+/// matter at the switch point: it is built from a member list —
+/// O(members) queue work plus two zero-filled n-sized arrays, instead
+/// of O(n) queue operations over every already-peeled cell — and every
+/// method takes `&self` (`Cell` fields: zero-cost single-threaded
+/// interior mutability), so the sink-facing `dec` closure can drive it
+/// without a `RefCell` turnstile in the hottest loop of the peel.
+///
+/// Keys of non-members read as 0; since every member enters with
+/// ω > floor ≥ 0, the caller-side `key > floor` guard makes non-member
+/// decrements (co-cells of the seed frontier) a natural no-op.
+struct ResidualBuckets {
+    bin: Vec<Cell<usize>>,
+    pos: Vec<Cell<usize>>,
+    vert: Vec<Cell<u32>>,
+    key: Vec<Cell<u32>>,
+    cursor: Cell<usize>,
+    floor: Cell<u32>,
+}
+
+impl ResidualBuckets {
+    /// Builds the queue over `members` (current ω read from `cells`),
+    /// with the λ level `floor` the drain enters at (debug-checked
+    /// against pops and decrements, like [`PeelBuckets`]' floor).
+    fn new(n: usize, members: &[u32], cells: &PeelCells, floor: u32) -> Self {
+        let mut key = vec![0u32; n];
+        let mut max_key = 0u32;
+        for &u in members {
+            let w = cells.load(u).1;
+            key[u as usize] = w;
+            max_key = max_key.max(w);
+        }
+        let mut bin = vec![0usize; max_key as usize + 2];
+        for &u in members {
+            bin[key[u as usize] as usize + 1] += 1;
+        }
+        for d in 1..bin.len() {
+            bin[d] += bin[d - 1];
+        }
+        let mut vert = vec![0u32; members.len()];
+        let mut pos = vec![0usize; n];
+        let mut fill = bin.clone();
+        for &u in members {
+            let d = key[u as usize] as usize;
+            vert[fill[d]] = u;
+            pos[u as usize] = fill[d];
+            fill[d] += 1;
+        }
+        ResidualBuckets {
+            bin: bin.into_iter().map(Cell::new).collect(),
+            pos: pos.into_iter().map(Cell::new).collect(),
+            vert: vert.into_iter().map(Cell::new).collect(),
+            key: key.into_iter().map(Cell::new).collect(),
+            cursor: Cell::new(0),
+            floor: Cell::new(floor),
+        }
+    }
+
+    /// Current key of `x` (0 for non-members).
+    #[inline]
+    fn key(&self, x: u32) -> u32 {
+        self.key[x as usize].get()
+    }
+
+    /// Pops a member with the minimum current key; keys of successive
+    /// pops are non-decreasing.
+    fn pop_min(&self) -> Option<(u32, u32)> {
+        let c = self.cursor.get();
+        if c >= self.vert.len() {
+            return None;
+        }
+        let x = self.vert[c].get();
+        let k = self.key[x as usize].get();
+        debug_assert!(k >= self.floor.get(), "residual keys regressed");
+        self.floor.set(k);
+        self.cursor.set(c + 1);
+        Some((x, k))
+    }
+
+    /// Decrements the key of an unpopped member by one; caller must
+    /// hold the `key(x) > floor` peeling guard.
+    #[inline]
+    fn decrement(&self, x: u32) {
+        let xi = x as usize;
+        let d = self.key[xi].get() as usize;
+        debug_assert!(
+            self.key[xi].get() > self.floor.get(),
+            "decrement would drop key below peeling floor"
+        );
+        let p = self.pos[xi].get();
+        let start = self.bin[d].get().max(self.cursor.get());
+        debug_assert_eq!(
+            self.key[self.vert[start].get() as usize].get(),
+            self.key[xi].get()
+        );
+        let w = self.vert[start].get();
+        if w != x {
+            self.vert[p].set(w);
+            self.vert[start].set(x);
+            self.pos[w as usize].set(p);
+            self.pos[xi].set(start);
+        }
+        self.bin[d].set(start + 1);
+        self.key[xi].set(self.key[xi].get() - 1);
+    }
+}
+
+/// Serially exhausts **everything that is left**: processes the
+/// (already stamped, ascending-id) `seed` frontier of level `k`, then
+/// pops the remaining `alive` cells from a [`ResidualBuckets`] queue in
+/// λ-monotone order — the serial engine's loop, entered mid-peel.
+/// Invoked when a λ-level opens with less than a
+/// [`RESIDUAL_OPENING_FRACTION`]th of the remaining cells: from that
+/// point on, the per-level `alive` compaction scan (O(alive) per level)
+/// costs more than every remaining frontier is worth, so one
+/// O(residual) queue build replaces all of them.
+///
+/// Sinks that classify ([`PeelSink::CLASSIFIES`]) get the generic loop:
+/// each pop is stamped with a fresh, unique round before its container
+/// scan, so `(stamp, id)` remains a total processed-before order and
+/// the sink contract is identical to [`drain_level`]'s (the packed ω
+/// halves go stale — the queue keys schedule the pops — but no sink
+/// reads ω, only stamps). The plain sink instead takes
+/// [`drain_residual_plain`], which is bit-for-bit the serial engine.
+#[allow(clippy::too_many_arguments)] // internal: single call site
+fn drain_residual<B: PeelBackend + Sync, S: PeelSink<B>>(
+    space: &B,
+    cells: &PeelCells,
+    lambda: &mut [u32],
+    order: &mut Vec<u32>,
+    max_lambda: &mut u32,
+    seed: &[u32],
+    alive: &[u32],
+    k: u32,
+    round: u32,
+    sink: &mut S,
+) {
+    let n = lambda.len();
+    if !S::CLASSIFIES {
+        drain_residual_plain(space, cells, lambda, order, max_lambda, seed, alive, k);
+        return;
+    }
+    let q = ResidualBuckets::new(n, alive, cells, k);
+    let floor = Cell::new(k);
+    let dec = |v: u32| {
+        if q.key(v) > floor.get() {
+            q.decrement(v);
+            q.key(v) == floor.get()
+        } else {
+            false
+        }
+    };
+    let mut part = sink.new_part();
+    let mut next: Vec<u32> = Vec::new();
+    // The seed frontier shares the stamp `round` and is already in
+    // `order`; process it FIFO in ascending id, like a shared-stamp
+    // round. Cells its cascade drags down to k wait in bucket k and
+    // come back out of the queue first (pops are λ-monotone).
+    for &u in seed {
+        sink.scan_cell(
+            space, cells, lambda, u, k, round, &dec, &mut next, &mut part,
+        );
+        next.clear();
+    }
+    let mut next_stamp = round + 1;
+    while let Some((u, ku)) = q.pop_min() {
+        floor.set(ku);
+        cells.mark(u, next_stamp);
+        lambda[u as usize] = ku;
+        *max_lambda = (*max_lambda).max(ku);
+        order.push(u);
+        sink.scan_cell(
+            space, cells, lambda, u, ku, next_stamp, &dec, &mut next, &mut part,
+        );
+        next.clear();
+        next_stamp += 1;
+    }
+    sink.absorb_part(part);
+}
+
+/// [`drain_residual`] for the plain sink: the serial engine's exact
+/// loop — popped-bitmap dead-container checks, bucket-queue decrements,
+/// no stamp maintenance (nothing reads stamps once the plain peel is
+/// over). A subset [`PeelBuckets`] starts with every non-residual cell
+/// already popped, then the seeds mark themselves popped in ascending
+/// id before scanning — which encodes precisely the `(stamp, id)`
+/// processed-before relation the stamped engines use. Unlike
+/// [`ResidualBuckets`] this queue is driven through `&mut` (the plain
+/// path needs no interior mutability), which is worth ~20% on the
+/// drain: exclusive access lets the compiler keep the queue's cursors
+/// out of memory in the decrement-heavy inner loop.
+#[allow(clippy::too_many_arguments)] // internal: single call site
+fn drain_residual_plain<B: PeelBackend + Sync>(
+    space: &B,
+    cells: &PeelCells,
+    lambda: &mut [u32],
+    order: &mut Vec<u32>,
+    max_lambda: &mut u32,
+    seed: &[u32],
+    alive: &[u32],
+    k: u32,
+) {
+    let n = lambda.len();
+    let mut q = PeelBuckets::over_subset(n, alive, |u| cells.load(u).1, k);
+    for &u in seed {
+        q.clear_popped(u);
+    }
+    for &u in seed {
+        q.mark_popped(u);
+        space.for_each_container(u, |others| {
+            if others.iter().any(|&v| q.is_popped(v)) {
+                return;
+            }
+            for &v in others {
+                if q.key(v) > k {
+                    q.decrement(v);
+                }
+            }
+        });
+    }
+    let mut ord = std::mem::take(order);
+    let mut ml = *max_lambda;
+    while let Some((u, ku)) = q.pop_min() {
+        lambda[u as usize] = ku;
+        ml = ml.max(ku);
+        ord.push(u);
+        space.for_each_container(u, |others| {
+            if others.iter().any(|&v| q.is_popped(v)) {
+                return;
+            }
+            for &v in others {
+                if q.key(v) > ku {
+                    q.decrement(v);
+                }
+            }
+        });
+    }
+    *order = ord;
+    *max_lambda = ml;
+}
+
 /// Applies one round's container decrements, appending the cells whose
 /// ω crossed down to exactly `k` — the next frontier of this level —
 /// to `next` (membership is unique: only the decrement that performs
 /// the `k + 1 → k` transition reports the cell). `next` is a reused
 /// buffer, cleared by the caller.
 #[allow(clippy::too_many_arguments)] // internal: one call site per engine path
-fn frontier_round<B: PeelBackend + Sync>(
+fn frontier_round<B: PeelBackend + Sync, S: PeelSink<B>>(
     space: &B,
     cells: &PeelCells,
     frontier: &[u32],
+    lambda: &[u32],
     degrees: &[u32],
     k: u32,
     round: u32,
     threads: usize,
     min_parallel_work: usize,
+    sink: &mut S,
     next: &mut Vec<u32>,
 ) {
     let weight = |u: u32| degrees[u as usize] as usize + 1;
@@ -316,22 +871,32 @@ fn frontier_round<B: PeelBackend + Sync>(
         // decrements (relaxed load + store compile to plain moves — no
         // compare-exchange in the single-threaded engine).
         let dec = |v: u32| cells.dec_above(v, k);
-        scan_frontier_cells(space, cells, frontier, round, &dec, next);
+        let mut part = sink.new_part();
+        for &u in frontier {
+            sink.scan_cell(space, cells, lambda, u, k, round, &dec, next, &mut part);
+        }
+        sink.absorb_part(part);
         return;
     }
     let dec = |v: u32| cells.dec_above_atomic(v, k);
     let weights: Vec<usize> = frontier.iter().map(|&u| weight(u)).collect();
     let ranges = balanced_ranges(&weights, threads);
-    let parts: Vec<Vec<u32>> = std::thread::scope(|scope| {
+    let parts: Vec<(Vec<u32>, S::Part)> = std::thread::scope(|scope| {
+        let sink_ref: &S = sink;
         let handles: Vec<_> = ranges
             .into_iter()
             .map(|range| {
                 let owned = &frontier[range];
                 let dec = &dec;
                 scope.spawn(move || {
-                    let mut part = Vec::new();
-                    scan_frontier_cells(space, cells, owned, round, dec, &mut part);
-                    part
+                    let mut found = Vec::new();
+                    let mut part = sink_ref.new_part();
+                    for &u in owned {
+                        sink_ref.scan_cell(
+                            space, cells, lambda, u, k, round, dec, &mut found, &mut part,
+                        );
+                    }
+                    (found, part)
                 })
             })
             .collect();
@@ -340,40 +905,9 @@ fn frontier_round<B: PeelBackend + Sync>(
             .map(|h| h.join().expect("peel worker panicked"))
             .collect()
     });
-    for mut part in parts {
-        next.append(&mut part);
-    }
-}
-
-/// The per-worker scan: for each owned frontier cell, decide container
-/// liveness/ownership from the round stamps and apply decrements via
-/// `dec` (which reports `true` when its target just dropped to the
-/// level value and must join the next frontier).
-fn scan_frontier_cells<B: PeelBackend, D: Fn(u32) -> bool>(
-    space: &B,
-    cells: &PeelCells,
-    owned: &[u32],
-    round: u32,
-    dec: &D,
-    next: &mut Vec<u32>,
-) {
-    for &u in owned {
-        space.for_each_container(u, |others| {
-            for &v in others {
-                let s = cells.stamp(v);
-                if s < round {
-                    return; // container died in an earlier round
-                }
-                if s == round && v < u {
-                    return; // same-round co-cell with smaller id owns it
-                }
-            }
-            for &v in others {
-                if dec(v) {
-                    next.push(v);
-                }
-            }
-        });
+    for (mut found, part) in parts {
+        next.append(&mut found);
+        sink.absorb_part(part);
     }
 }
 
@@ -531,7 +1065,9 @@ mod tests {
     }
 
     /// λ from the frontier engine equals the serial engine on every
-    /// space, at several thread counts, with the spawn path forced.
+    /// space, at several thread counts, with the spawn path forced —
+    /// with the hybrid drain disabled, always-on, and on a mid-size
+    /// threshold that mixes both per level.
     fn check_frontier_matches_serial(g: &CsrGraph) {
         let vs = VertexSpace::new(g);
         let es = EdgeSpace::new(g);
@@ -539,38 +1075,36 @@ mod tests {
         fn check<S: crate::space::PeelSpace + Sync>(space: &S) {
             let serial = peel(space);
             let m = crate::space::MaterializedSpace::new(space);
-            for threads in [1, 2, 8] {
-                let par = peel_parallel_with(
-                    space,
-                    FrontierOptions {
+            for serial_round_threshold in [0, 3, usize::MAX] {
+                for threads in [1, 2, 8] {
+                    let opts = FrontierOptions {
                         threads,
                         min_parallel_work: 0,
-                    },
-                );
-                assert_eq!(par.lambda, serial.lambda, "lazy backend, {threads} threads");
-                let par_m = peel_parallel_with(
-                    &m,
-                    FrontierOptions {
-                        threads,
-                        min_parallel_work: 0,
-                    },
-                );
-                assert_eq!(
-                    par_m.lambda, serial.lambda,
-                    "materialized, {threads} threads"
-                );
-                assert_eq!(par_m.max_lambda, serial.max_lambda);
-                // λ-monotone order covering every cell exactly once
-                let mut last = 0;
-                for &c in &par_m.order {
-                    assert!(par_m.lambda_of(c) >= last);
-                    last = par_m.lambda_of(c);
+                        serial_round_threshold,
+                    };
+                    let par = peel_parallel_with(space, opts);
+                    assert_eq!(
+                        par.lambda, serial.lambda,
+                        "lazy backend, {threads} threads, drain < {serial_round_threshold}"
+                    );
+                    let par_m = peel_parallel_with(&m, opts);
+                    assert_eq!(
+                        par_m.lambda, serial.lambda,
+                        "materialized, {threads} threads, drain < {serial_round_threshold}"
+                    );
+                    assert_eq!(par_m.max_lambda, serial.max_lambda);
+                    // λ-monotone order covering every cell exactly once
+                    let mut last = 0;
+                    for &c in &par_m.order {
+                        assert!(par_m.lambda_of(c) >= last);
+                        last = par_m.lambda_of(c);
+                    }
+                    let mut seen = par_m.order.clone();
+                    seen.sort_unstable();
+                    assert_eq!(seen, (0..space.cell_count() as u32).collect::<Vec<_>>());
+                    // deterministic across thread counts and backends
+                    assert_eq!(par.order, par_m.order);
                 }
-                let mut seen = par_m.order.clone();
-                seen.sort_unstable();
-                assert_eq!(seen, (0..space.cell_count() as u32).collect::<Vec<_>>());
-                // deterministic across thread counts
-                assert_eq!(par.order, par_m.order);
             }
         }
         check(&vs);

@@ -3,7 +3,7 @@
 //! all, and a human-readable explanation of both decisions.
 //!
 //! Historically the cross-constraint checks (frontier × lazy, frontier ×
-//! FND/LCPS, LCPS × non-core) were scattered through `decompose_with`'s
+//! LCPS, LCPS × non-core) were scattered through `decompose_with`'s
 //! dispatch; this module is their single home. [`validate`] rejects
 //! contradictory combinations with structured [`CoreError`]s, and
 //! [`Plan`] records the *resolved* choices ([`Backend::Auto`] and
@@ -25,11 +25,11 @@ use crate::error::CoreError;
 /// Checks every cross-constraint between a family, an algorithm, a
 /// backend policy and an engine policy — the single home of the rules:
 ///
-/// 1. [`PeelEngine::Frontier`] only drives algorithms that consume a
-///    finished peeling ([`Algorithm::Naive`], [`Algorithm::Dft`]); FND
-///    interleaves hierarchy construction with the pops and LCPS walks
-///    the graph directly, so both reject it
-///    ([`CoreError::InvalidOptions`]).
+/// 1. [`PeelEngine::Frontier`] drives every algorithm that runs
+///    `Set-λ` ([`Algorithm::Naive`], [`Algorithm::Dft`], and — since
+///    the sink-based parallel FND — [`Algorithm::Fnd`]); only
+///    [`Algorithm::Lcps`], which walks the graph directly and never
+///    peels, rejects it ([`CoreError::InvalidOptions`]).
 /// 2. [`PeelEngine::Frontier`] needs O(1) repeated container access, so
 ///    an explicit [`Backend::Lazy`] contradicts it
 ///    ([`CoreError::InvalidOptions`]; `Auto` is fine — the frontier
@@ -50,8 +50,8 @@ pub fn validate(
     if !engine.supports(algorithm) {
         return Err(CoreError::InvalidOptions {
             reason: format!(
-                "the frontier peeling engine cannot drive {algorithm}: it only applies to \
-                 algorithms that consume a finished peeling (Naive, DFT)"
+                "the frontier peeling engine cannot drive {algorithm}: it never runs Set-λ \
+                 (every peeling algorithm — Naive, DFT, FND — accepts the frontier engine)"
             ),
         });
     }
@@ -164,16 +164,24 @@ mod tests {
 
     #[test]
     fn validate_rejects_each_conflict() {
-        // engine × algorithm
+        // engine × algorithm: only LCPS (never peels) rejects frontier;
+        // FND rides it since the parallel path landed
         let err = validate(
             Kind::Core,
-            Algorithm::Fnd,
+            Algorithm::Lcps,
             Backend::Auto,
             PeelEngine::Frontier,
         )
         .unwrap_err();
         assert!(matches!(err, CoreError::InvalidOptions { .. }), "{err}");
-        assert!(format!("{err}").contains("FND"));
+        assert!(format!("{err}").contains("LCPS"));
+        validate(
+            Kind::Core,
+            Algorithm::Fnd,
+            Backend::Auto,
+            PeelEngine::Frontier,
+        )
+        .expect("frontier FND is legal");
         // engine × backend
         let err = validate(
             Kind::Truss,

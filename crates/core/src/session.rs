@@ -44,7 +44,7 @@
 //!    baseline over the same cached space.
 //!
 //! Validation is centralized in [`crate::plan::validate`]: the checks
-//! that involve the algorithm (frontier × FND/LCPS, LCPS × non-core)
+//! that involve the algorithm (frontier × LCPS, LCPS × non-core)
 //! happen at `plan`/`run` time, since one `Prepared` may serve
 //! different algorithms.
 
@@ -54,7 +54,7 @@ use std::time::{Duration, Instant};
 use nucleus_graph::CsrGraph;
 
 use crate::algo::dft::dft;
-use crate::algo::fnd::fnd;
+use crate::algo::fnd::{fnd, fnd_parallel_with, FndOptions};
 use crate::algo::hypo::hypo_sweep;
 use crate::algo::lcps::lcps;
 use crate::algo::naive::naive;
@@ -157,6 +157,15 @@ impl<'g> NucleusBuilder<'g> {
         self
     }
 
+    /// Sets the hybrid-round threshold for the frontier engine: λ-levels
+    /// whose opening frontier has fewer cells than this drain serially
+    /// (default [`FrontierOptions::DEFAULT_SERIAL_ROUND_THRESHOLD`];
+    /// `0` disables the hybrid drain entirely).
+    pub fn frontier_serial_below(mut self, cells: usize) -> Self {
+        self.options.frontier_serial_below = cells;
+        self
+    }
+
     /// Applies a whole [`DecomposeOptions`] at once (keeps the kind).
     pub fn options(mut self, options: DecomposeOptions) -> Self {
         self.options = options;
@@ -212,6 +221,7 @@ impl<'g> NucleusBuilder<'g> {
             },
             engine: options.engine,
             threads,
+            frontier_serial_below: options.frontier_serial_below,
             space,
             index,
             cells,
@@ -288,6 +298,7 @@ impl<'g> NucleusBuilder<'g> {
             backend: Backend::Materialized,
             engine: options.engine,
             threads,
+            frontier_serial_below: options.frontier_serial_below,
             space,
             index: Some(container_index),
             cells,
@@ -340,6 +351,9 @@ pub struct Prepared<'g> {
     /// because it depends on the algorithm.
     engine: PeelEngine,
     threads: usize,
+    /// Hybrid-round threshold handed to every frontier-engine run
+    /// (see [`FrontierOptions::serial_round_threshold`]).
+    frontier_serial_below: usize,
     space: AnySpace<'g>,
     index: Option<ContainerIndex>,
     cells: usize,
@@ -430,13 +444,21 @@ impl<'g> Prepared<'g> {
     pub fn plan(&self, algorithm: Algorithm) -> Result<Plan, CoreError> {
         let engine = self.resolve_engine(algorithm)?;
         let materialized = self.index.is_some();
+        // Whenever the run will actually use the frontier engine, the
+        // reason also reports the hybrid-round policy it runs under.
+        let hybrid = if self.frontier_serial_below > 0 {
+            format!("hybrid, serial below {}", self.frontier_serial_below)
+        } else {
+            "hybrid drain disabled".to_string()
+        };
         let engine_reason = match self.engine {
-            PeelEngine::Serial | PeelEngine::Frontier => "explicitly requested".to_string(),
+            PeelEngine::Serial => "explicitly requested".to_string(),
+            PeelEngine::Frontier => format!("explicitly requested ({hybrid})"),
             PeelEngine::Auto => {
                 if engine == PeelEngine::Frontier {
                     format!(
-                        "auto: materialized run, {} threads, {algorithm} consumes a finished \
-                         peeling",
+                        "auto: frontier ({hybrid}) — materialized run, {} threads, {algorithm} \
+                         rides the peel",
                         self.threads
                     )
                 } else if !materialized {
@@ -444,12 +466,9 @@ impl<'g> Prepared<'g> {
                 } else if self.threads <= 1 {
                     "auto: serial (single worker thread)".to_string()
                 } else {
-                    // FND interleaves hierarchy construction with the
-                    // pops; LCPS walks the graph directly — either way
-                    // the frontier engine only drives Naive/DFT.
-                    format!(
-                        "auto: serial (the frontier engine only drives Naive/DFT, not {algorithm})"
-                    )
+                    // Only LCPS lands here now: it walks the graph
+                    // directly and never runs Set-λ.
+                    format!("auto: serial (the frontier engine does not drive {algorithm})")
                 }
             }
         };
@@ -543,13 +562,23 @@ impl<'g> Prepared<'g> {
             // LCPS off before dispatching to a backend.
             Algorithm::Lcps => unreachable!("LCPS never reaches backend dispatch"),
             Algorithm::Fnd => {
-                debug_assert_eq!(engine, PeelEngine::Serial, "FND is order-sequential");
-                let out = fnd(space);
+                let out = match engine {
+                    PeelEngine::Frontier => fnd_parallel_with(
+                        space,
+                        FndOptions::default(),
+                        FrontierOptions {
+                            threads: self.threads,
+                            serial_round_threshold: self.frontier_serial_below,
+                            ..FrontierOptions::default()
+                        },
+                    ),
+                    _ => fnd(space),
+                };
                 Decomposition {
                     kind: self.kind,
                     algorithm,
                     backend: self.backend,
-                    engine: PeelEngine::Serial,
+                    engine,
                     peeling: out.peeling,
                     hierarchy: out.hierarchy,
                     times: PhaseTimes {
@@ -569,6 +598,7 @@ impl<'g> Prepared<'g> {
                         space,
                         FrontierOptions {
                             threads: self.threads,
+                            serial_round_threshold: self.frontier_serial_below,
                             ..FrontierOptions::default()
                         },
                     ),
@@ -733,10 +763,15 @@ mod tests {
         assert!(text.contains("materialized"), "{text}");
         assert!(text.contains("frontier"), "{text}");
         assert!(text.contains("auto"), "{text}");
-        // FND on the same session: serial, with the reason naming it
+        // FND on the same session rides the frontier engine too, and
+        // the reason names the hybrid-round policy it runs under
         let plan = prepared.plan(Algorithm::Fnd).unwrap();
-        assert_eq!(plan.engine, PeelEngine::Serial);
-        assert!(plan.engine_reason.contains("FND"), "{}", plan.engine_reason);
+        assert_eq!(plan.engine, PeelEngine::Frontier);
+        assert!(
+            plan.engine_reason.contains("hybrid, serial below 64"),
+            "{}",
+            plan.engine_reason
+        );
         // Display goes through explain
         assert_eq!(format!("{plan}"), plan.explain());
     }
@@ -752,16 +787,17 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, CoreError::InvalidOptions { .. }), "{err}");
-        // frontier × FND dies at plan/run
+        // frontier × LCPS dies at plan/run
         let prepared = Nucleus::builder(&g)
             .engine(PeelEngine::Frontier)
             .threads(2)
             .prepare()
             .unwrap();
-        assert!(prepared.plan(Algorithm::Fnd).is_err());
-        assert!(prepared.run(Algorithm::Fnd).is_err());
-        // ... but Naive/DFT still run on that same session
+        assert!(prepared.plan(Algorithm::Lcps).is_err());
+        assert!(prepared.run(Algorithm::Lcps).is_err());
+        // ... but every peeling algorithm runs on that same session
         assert!(prepared.run(Algorithm::Dft).is_ok());
+        assert!(prepared.run(Algorithm::Fnd).is_ok());
         // LCPS × non-core dies at plan/run
         let prepared = Nucleus::builder(&g).kind(Kind::EdgeK4).prepare().unwrap();
         let err = prepared.run(Algorithm::Lcps).unwrap_err();

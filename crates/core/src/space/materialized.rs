@@ -61,7 +61,10 @@ const fn pack(stamp: u32, omega: u32) -> u64 {
 
 impl PeelCells {
     /// Stamp of a cell that has not been peeled yet. Real round numbers
-    /// are bounded by the cell count, so the sentinel cannot collide.
+    /// are bounded by ~2× the cell count (hybrid drains assign each
+    /// drained cell a fresh stamp, frontier rounds share one per
+    /// round), and cell counts stay below `u32::MAX / 2`, so the
+    /// sentinel cannot collide.
     pub const ALIVE: u32 = u32::MAX;
 
     /// All-alive state from the initial ω degrees.

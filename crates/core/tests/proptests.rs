@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use nucleus_core::algo::dft::dft;
-use nucleus_core::algo::fnd::fnd;
+use nucleus_core::algo::fnd::{fnd, fnd_parallel_with, FndOptions};
 use nucleus_core::algo::lcps::lcps;
 use nucleus_core::algo::naive::naive;
 use nucleus_core::algo::tcp::{tcp_query, TcpIndex};
@@ -67,44 +67,55 @@ fn check_backend_equivalence<S: PeelSpace + Sync>(space: &S) {
 
 /// Pins the frontier-parallel engine to the serial one on any space, at
 /// 1, 2 and 8 threads with the spawn path forced (`min_parallel_work:
-/// 0`), checking everything downstream consumers rely on: identical λ,
-/// a λ-monotone permutation order that is identical across thread
-/// counts, and identical DFT *and* FND hierarchies built on top.
+/// 0`) and with the hybrid drain both disabled (`0`) and aggressive
+/// (`3` — most rounds on these small graphs fall below it), checking
+/// everything downstream consumers rely on: identical λ, a λ-monotone
+/// permutation order that is identical across thread counts, and
+/// identical DFT *and* parallel-FND hierarchies built on top.
 fn check_engine_equivalence<S: PeelSpace + Sync>(space: &S) {
     let serial = peel(space);
     let mat = MaterializedSpace::with_threads(space, 2);
     // thread-count-invariant references, computed once
     let (h_serial, _) = dft(&mat, &serial);
     let h_fnd = fnd(space).hierarchy;
-    let mut orders: Vec<Vec<u32>> = vec![];
-    for threads in [1usize, 2, 8] {
-        let par = peel_parallel_with(
-            &mat,
-            FrontierOptions {
+    for serial_round_threshold in [0usize, 3] {
+        let mut orders: Vec<Vec<u32>> = vec![];
+        for threads in [1usize, 2, 8] {
+            let options = FrontierOptions {
                 threads,
                 min_parallel_work: 0,
-            },
-        );
-        assert_eq!(par.lambda, serial.lambda, "λ at {threads} threads");
-        assert_eq!(par.max_lambda, serial.max_lambda, "max λ");
-        // the order is a λ-monotone permutation of all cells
-        let mut last = 0u32;
-        for &c in &par.order {
-            assert!(par.lambda_of(c) >= last, "λ-monotone order");
-            last = par.lambda_of(c);
+                serial_round_threshold,
+            };
+            let label = format!("{threads} threads, drain below {serial_round_threshold}");
+            let par = peel_parallel_with(&mat, options);
+            assert_eq!(par.lambda, serial.lambda, "λ at {label}");
+            assert_eq!(par.max_lambda, serial.max_lambda, "max λ");
+            // the order is a λ-monotone permutation of all cells
+            let mut last = 0u32;
+            for &c in &par.order {
+                assert!(par.lambda_of(c) >= last, "λ-monotone order");
+                last = par.lambda_of(c);
+            }
+            let mut sorted = par.order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..space.cell_count() as u32).collect::<Vec<_>>());
+            // the DFT hierarchy over the parallel order matches the
+            // serial one
+            let (h_par, _) = dft(&mat, &par);
+            assert_eq!(h_serial, h_par, "DFT hierarchy at {label}");
+            // parallel FND under the same engine options: same λ, same
+            // emitted order as the plain frontier peel, and a hierarchy
+            // bit-identical to serial FND
+            let par_fnd = fnd_parallel_with(&mat, FndOptions::default(), options);
+            assert_eq!(par_fnd.peeling.lambda, serial.lambda, "FND λ at {label}");
+            assert_eq!(par_fnd.peeling.order, par.order, "FND order at {label}");
+            assert_eq!(h_fnd, par_fnd.hierarchy, "FND hierarchy at {label}");
+            orders.push(par.order);
         }
-        let mut sorted = par.order.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, (0..space.cell_count() as u32).collect::<Vec<_>>());
-        // the DFT hierarchy over the parallel order matches the serial
-        // one, and FND (always serial) agrees too
-        let (h_par, _) = dft(&mat, &par);
-        assert_eq!(h_serial, h_par, "DFT hierarchy at {threads} threads");
-        assert_eq!(h_fnd, h_par, "FND vs frontier-DFT hierarchy");
-        orders.push(par.order);
+        // deterministic: the emitted order is thread-count independent
+        // (it may legitimately differ across drain thresholds)
+        assert!(orders.windows(2).all(|w| w[0] == w[1]), "order determinism");
     }
-    // deterministic: the emitted order is thread-count independent
-    assert!(orders.windows(2).all(|w| w[0] == w[1]), "order determinism");
 }
 
 /// Pins the prepared-pipeline API to the one-shot `decompose_with` for
@@ -126,6 +137,7 @@ fn check_session_equivalence(g: &CsrGraph, kind: Kind) {
                 backend,
                 engine,
                 threads: 2,
+                ..DecomposeOptions::default()
             };
             let prepared = Nucleus::builder(g).kind(kind).options(options).prepare();
             for &algo in Algorithm::for_kind(kind) {

@@ -1,0 +1,342 @@
+//! Lock-free concurrent union-find for parallel sub-nucleus merging.
+//!
+//! Shared-memory variant of [`crate::DisjointSets`] in the style of
+//! Anderson & Woll: each node is a single `AtomicU64` packing
+//! `rank << 32 | parent`, a node is a root iff its parent is itself,
+//! unions link by rank with one CAS on the losing root's word, and
+//! finds compress with CAS path-halving (failures are benign — another
+//! thread already shortened the path).
+//!
+//! The final partition depends only on the *set* of union calls, never
+//! on their interleaving, so a parallel peel that issues the same
+//! unions as the serial one yields the same connected components.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+const fn pack(rank: u32, parent: u32) -> u64 {
+    ((rank as u64) << 32) | parent as u64
+}
+
+const fn parent_of(word: u64) -> u32 {
+    word as u32
+}
+
+const fn rank_of(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+/// Wait-free-read, lock-free-update union-find over `0..n`, usable from
+/// many threads through `&self`.
+///
+/// ```
+/// use nucleus_dsf::ConcurrentSets;
+/// let ds = ConcurrentSets::new(4);
+/// ds.union(0, 1);
+/// ds.union(2, 3);
+/// assert_eq!(ds.find(0), ds.find(1));
+/// assert_ne!(ds.find(1), ds.find(2));
+/// ds.union(1, 3);
+/// assert_eq!(ds.find(0), ds.find(2));
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentSets {
+    /// `rank << 32 | parent` per node; a node is a root iff
+    /// `parent == self`.
+    nodes: Vec<AtomicU64>,
+    sets: AtomicUsize,
+}
+
+impl ConcurrentSets {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "node ids must fit in u32");
+        ConcurrentSets {
+            nodes: (0..n as u32).map(|i| AtomicU64::new(pack(0, i))).collect(),
+            sets: AtomicUsize::new(n),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no element exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of disjoint sets. Exact once concurrent unions have
+    /// quiesced; a snapshot while they race.
+    pub fn set_count(&self) -> usize {
+        self.sets.load(Ordering::Acquire)
+    }
+
+    /// Representative of the set containing `x`, with path halving.
+    ///
+    /// Concurrent unions may relink the returned root under a new one;
+    /// callers comparing roots for equality should use [`same_set`]
+    /// (which re-checks) or call `find` after all unions finished.
+    ///
+    /// [`same_set`]: ConcurrentSets::same_set
+    pub fn find(&self, x: u32) -> u32 {
+        let mut x = x;
+        loop {
+            let word = self.nodes[x as usize].load(Ordering::Acquire);
+            let parent = parent_of(word);
+            if parent == x {
+                return x;
+            }
+            let grand = parent_of(self.nodes[parent as usize].load(Ordering::Acquire));
+            if grand != parent {
+                // Halve the path: x -> grandparent. A lost race means
+                // someone else already improved x's pointer.
+                let _ = self.nodes[x as usize].compare_exchange_weak(
+                    word,
+                    pack(rank_of(word), grand),
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                );
+            }
+            x = parent;
+        }
+    }
+
+    /// Merges the sets of `x` and `y`. Returns the surviving root, or
+    /// `None` if they were already in the same set.
+    pub fn union(&self, x: u32, y: u32) -> Option<u32> {
+        loop {
+            let rx = self.find(x);
+            let ry = self.find(y);
+            if rx == ry {
+                return None;
+            }
+            let wx = self.nodes[rx as usize].load(Ordering::Acquire);
+            let wy = self.nodes[ry as usize].load(Ordering::Acquire);
+            // A concurrent union may have demoted either root since the
+            // find; restart so the link CAS targets a genuine root.
+            if parent_of(wx) != rx || parent_of(wy) != ry {
+                continue;
+            }
+            // Union by rank; ties go to the smaller id so the link
+            // direction is interleaving-independent too.
+            let tie = rank_of(wx) == rank_of(wy);
+            let (winner, loser, loser_word) = if rank_of(wx) > rank_of(wy) || (tie && rx < ry) {
+                (rx, ry, wy)
+            } else {
+                (ry, rx, wx)
+            };
+            // Linking CAS: succeeds only if the loser is still a root
+            // with the rank we saw, which linearizes the union.
+            if self.nodes[loser as usize]
+                .compare_exchange(
+                    loser_word,
+                    pack(rank_of(loser_word), winner),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                self.sets.fetch_sub(1, Ordering::AcqRel);
+                if tie {
+                    // Best-effort rank bump; skipping it (winner lost
+                    // its root status to a racer) only costs balance,
+                    // never correctness.
+                    let ww = self.nodes[winner as usize].load(Ordering::Acquire);
+                    if parent_of(ww) == winner {
+                        let _ = self.nodes[winner as usize].compare_exchange(
+                            ww,
+                            pack(rank_of(ww) + 1, winner),
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        );
+                    }
+                }
+                return Some(winner);
+            }
+        }
+    }
+
+    /// True if `x` and `y` are in the same set, correct even while
+    /// unions race: two equal roots stay equal, and unequal roots are
+    /// re-resolved until a stable pair is observed.
+    pub fn same_set(&self, x: u32, y: u32) -> bool {
+        loop {
+            let rx = self.find(x);
+            let ry = self.find(y);
+            if rx == ry {
+                return true;
+            }
+            // rx is a root distinct from ry *now* only if it is still
+            // its own parent; otherwise a racing union moved it.
+            if parent_of(self.nodes[rx as usize].load(Ordering::Acquire)) == rx {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DisjointSets;
+
+    /// Deterministic xorshift64* for test-case generation.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        fn below(&mut self, n: u32) -> u32 {
+            (self.next() % n as u64) as u32
+        }
+    }
+
+    /// Canonical labeling: each node mapped to the smallest member of
+    /// its set, which is comparable across implementations.
+    fn canonical_concurrent(ds: &ConcurrentSets) -> Vec<u32> {
+        let n = ds.len();
+        let mut smallest = vec![u32::MAX; n];
+        for x in 0..n as u32 {
+            let r = ds.find(x) as usize;
+            smallest[r] = smallest[r].min(x);
+        }
+        (0..n as u32)
+            .map(|x| smallest[ds.find(x) as usize])
+            .collect()
+    }
+
+    fn canonical_classic(ds: &mut DisjointSets) -> Vec<u32> {
+        let n = ds.len();
+        let mut smallest = vec![u32::MAX; n];
+        for x in 0..n as u32 {
+            let r = ds.find(x) as usize;
+            smallest[r] = smallest[r].min(x);
+        }
+        (0..n as u32)
+            .map(|x| smallest[ds.find(x) as usize])
+            .collect()
+    }
+
+    #[test]
+    fn singletons_are_distinct() {
+        let ds = ConcurrentSets::new(3);
+        assert_eq!(ds.set_count(), 3);
+        assert_ne!(ds.find(0), ds.find(1));
+        assert!(!ds.same_set(0, 1));
+    }
+
+    #[test]
+    fn union_reduces_set_count() {
+        let ds = ConcurrentSets::new(5);
+        assert!(ds.union(0, 1).is_some());
+        assert!(ds.union(1, 2).is_some());
+        assert!(ds.union(0, 2).is_none()); // already merged
+        assert_eq!(ds.set_count(), 3);
+        assert!(ds.same_set(0, 2));
+    }
+
+    #[test]
+    fn chain_compresses() {
+        let ds = ConcurrentSets::new(64);
+        for i in 0..63 {
+            ds.union(i, i + 1);
+        }
+        let r = ds.find(0);
+        for i in 0..64 {
+            assert_eq!(ds.find(i), r);
+        }
+        assert_eq!(ds.set_count(), 1);
+    }
+
+    #[test]
+    fn serial_matches_classic_oracle() {
+        let mut rng = Rng(0x5EED_0001);
+        for _ in 0..50 {
+            let n = 2 + rng.below(200);
+            let pairs: Vec<(u32, u32)> = (0..rng.below(3 * n))
+                .map(|_| (rng.below(n), rng.below(n)))
+                .collect();
+            let conc = ConcurrentSets::new(n as usize);
+            let mut oracle = DisjointSets::new(n as usize);
+            for &(a, b) in &pairs {
+                assert_eq!(conc.union(a, b).is_some(), oracle.union(a, b).is_some());
+            }
+            assert_eq!(canonical_concurrent(&conc), canonical_classic(&mut oracle));
+            assert_eq!(conc.set_count(), oracle.set_count());
+        }
+    }
+
+    /// The partition must depend only on the set of unions, not on the
+    /// interleaving: hammer the same pair list from several threads in
+    /// shuffled orders and compare against the single-threaded oracle.
+    #[test]
+    fn racing_unions_match_classic_oracle() {
+        let mut rng = Rng(0xC0FFEE);
+        for case in 0..20 {
+            let n = 64 + rng.below(512);
+            let pairs: Vec<(u32, u32)> = (0..2 * n).map(|_| (rng.below(n), rng.below(n))).collect();
+            let conc = ConcurrentSets::new(n as usize);
+            std::thread::scope(|scope| {
+                for t in 0..4u64 {
+                    let conc = &conc;
+                    let pairs = &pairs;
+                    scope.spawn(move || {
+                        // Each thread walks the full list from its own
+                        // offset and stride, maximizing overlap.
+                        let mut local = Rng(0xAB1E ^ (case as u64) << 8 ^ t);
+                        let start = local.below(pairs.len() as u32) as usize;
+                        for i in 0..pairs.len() {
+                            let (a, b) = pairs[(start + i) % pairs.len()];
+                            conc.union(a, b);
+                            if i % 7 == 0 {
+                                conc.same_set(a, b);
+                            }
+                        }
+                    });
+                }
+            });
+            let mut oracle = DisjointSets::new(n as usize);
+            for &(a, b) in &pairs {
+                oracle.union(a, b);
+            }
+            assert_eq!(canonical_concurrent(&conc), canonical_classic(&mut oracle));
+            assert_eq!(conc.set_count(), oracle.set_count());
+        }
+    }
+
+    #[test]
+    fn racing_finds_do_not_corrupt() {
+        let n = 1024u32;
+        let ds = ConcurrentSets::new(n as usize);
+        std::thread::scope(|scope| {
+            // One thread builds a long chain while others find through it.
+            let builder = &ds;
+            scope.spawn(move || {
+                for i in 0..n - 1 {
+                    builder.union(i, i + 1);
+                }
+            });
+            for t in 1..4u64 {
+                let ds = &ds;
+                scope.spawn(move || {
+                    let mut rng = Rng(t);
+                    for _ in 0..4096 {
+                        let x = rng.below(n);
+                        assert!(ds.find(x) < n);
+                    }
+                });
+            }
+        });
+        let r = ds.find(0);
+        for i in 0..n {
+            assert_eq!(ds.find(i), r);
+        }
+        assert_eq!(ds.set_count(), 1);
+    }
+}
