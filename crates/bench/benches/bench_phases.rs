@@ -1,44 +1,253 @@
-//! Criterion version of Figure 6: isolate the phases — peeling alone,
-//! DFT's post-traversal alone, and FND end-to-end — so the "FND total ≈
-//! DFT peeling" claim is directly measurable.
+//! Phase split across the whole pipeline: the prepare phase (clique
+//! enumeration, index build, ω degrees), the peel, and the two
+//! post-peel passes (DFT traversal, FND hierarchy assembly) — so both
+//! the paper's "FND total ≈ DFT peeling" claim (Figure 6) and this
+//! repo's parallel-prepare work are directly measurable.
+//!
+//! Per input and space, the rows are:
+//!
+//! * `enumerate-serial/-tN` — the enumeration kernel feeding ω degrees:
+//!   `edge_supports` for (2,3), `TriangleList::build` for (3,4)
+//!   (`-tN` is the bit-identical two-pass parallel twin);
+//! * `index-build-serial/-tN` ((3,4) only) — the edge→thirds
+//!   [`TriangleIndex`] over a pre-built triangle list;
+//! * `degrees-serial/-tN` ((3,4) only) — per-triangle K4 degrees;
+//! * `peel-only`, `dft-post-only`, `fnd-total` — the historical
+//!   Figure 6 rows, unchanged in meaning;
+//! * `hierarchy-assembly-serial/-tN` — `BuildHierarchy` (Alg. 9) alone,
+//!   over a pre-classified FND run (`fnd_classify`). Each iteration
+//!   clones the skeleton inside the timer (the shim has no
+//!   `iter_batched`); the clone cost is identical in both rows, so the
+//!   serial/parallel *difference* is the assembly pass itself. The `-tN`
+//!   row forces the worker path (`min_parallel_work = 0`);
+//! * `prepare-total-t1/-tN` — the whole session prepare
+//!   (`Nucleus::builder(..).threads(t).prepare()`), the end-to-end
+//!   number users see.
+//!
+//! On a single-core host `-tN` still spawns 2 workers, so the committed
+//! JSONs from the build container honestly record spawn overhead as
+//! pure loss — same convention as `bench_peel_engine`. JSON results
+//! land in `results/BENCH_phases_*.json`.
+//!
+//! `NUCLEUS_BENCH_SMOKE=1` shrinks the inputs and sampling so CI can
+//! assert the bench target runs end to end and emits its JSON.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nucleus_bench::load;
+use nucleus_cliques::parallel::edge_supports_parallel;
+use nucleus_cliques::triangles::edge_supports;
+use nucleus_cliques::{k4_degrees_parallel, TriangleIndex, TriangleList};
 use nucleus_core::algo::dft::dft;
-use nucleus_core::algo::fnd::fnd;
+use nucleus_core::algo::fnd::{build_hierarchy, fnd, fnd_classify};
 use nucleus_core::prelude::*;
-use nucleus_gen::Scale;
+use nucleus_core::space::MaterializedSpace;
+use nucleus_graph::CsrGraph;
 
-fn bench_phase_split(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure6_phases");
+fn smoke() -> bool {
+    std::env::var("NUCLEUS_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Same generated models as `bench_peel_engine`, so prepare rows stay
+/// comparable with the peel rows measured there.
+fn inputs() -> Vec<(&'static str, CsrGraph)> {
+    if smoke() {
+        return vec![("ba-n2000", nucleus_gen::ba::barabasi_albert(2_000, 4, 7))];
+    }
+    vec![
+        (
+            "rmat-s11",
+            nucleus_gen::rmat::rmat(11, 8, nucleus_gen::rmat::RmatParams::skewed(), 7),
+        ),
+        ("ba-n20000", nucleus_gen::ba::barabasi_albert(20_000, 6, 7)),
+        (
+            "ba-n200000-m3",
+            nucleus_gen::ba::barabasi_albert(200_000, 3, 7),
+        ),
+    ]
+}
+
+fn all_threads() -> usize {
+    // On a single-core host still bench 2 workers so the committed
+    // JSONs record the spawn path's overhead honestly.
+    std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .max(2)
+}
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_>) {
     group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(4));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    for name in ["stanford3-s", "twitter-hb-s"] {
-        let g = load(name, Scale::Medium);
-        // (2,3): space build + peel, the common denominator
-        group.bench_with_input(BenchmarkId::new("truss/peel-only", name), &g, |b, g| {
+    if smoke() {
+        group.measurement_time(std::time::Duration::from_millis(200));
+        group.warm_up_time(std::time::Duration::from_millis(20));
+    } else {
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(200));
+    }
+}
+
+/// The assembly-only rows, shared between the two spaces: classify once
+/// outside the timer, then re-run `BuildHierarchy` per iteration on a
+/// fresh clone of the skeleton.
+fn bench_assembly<S: nucleus_core::space::PeelSpace + Sync>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    mat: &MaterializedSpace<'_, S>,
+) {
+    let tn = all_threads();
+    let classified = fnd_classify(mat, FndOptions::default(), FrontierOptions::default());
+    let max_lambda = classified.peeling.max_lambda;
+    group.bench_with_input(
+        BenchmarkId::new("hierarchy-assembly-serial", name),
+        &classified,
+        |b, cl| {
+            b.iter(|| {
+                let mut sk = cl.skeleton.clone();
+                build_hierarchy(&mut sk, &cl.adj, max_lambda, 1, usize::MAX);
+                sk.len()
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new(format!("hierarchy-assembly-t{tn}"), name),
+        &classified,
+        |b, cl| {
+            b.iter(|| {
+                let mut sk = cl.skeleton.clone();
+                build_hierarchy(&mut sk, &cl.adj, max_lambda, tn, 0);
+                sk.len()
+            });
+        },
+    );
+}
+
+/// The session-prepare rows: everything between the input graph and a
+/// runnable `Prepared` (space build, enumeration, ω degrees, backend
+/// resolution, index materialization).
+fn bench_prepare_total(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    g: &CsrGraph,
+    kind: Kind,
+) {
+    let tn = all_threads();
+    for threads in [1usize, tn] {
+        let label = format!("prepare-total-t{threads}");
+        group.bench_with_input(BenchmarkId::new(label, name), g, |b, g| {
+            b.iter(|| {
+                Nucleus::builder(g)
+                    .kind(kind)
+                    .threads(threads)
+                    .prepare()
+                    .expect("prepare")
+                    .cells()
+            });
+        });
+    }
+}
+
+fn bench_phases_truss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phases_truss");
+    configure(&mut group);
+    let tn = all_threads();
+    for (name, g) in &inputs() {
+        // Prepare phase: the (2,3) enumeration kernel is the support
+        // count (ω degrees) itself.
+        group.bench_with_input(BenchmarkId::new("enumerate-serial", name), g, |b, g| {
+            b.iter(|| edge_supports(g).len());
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("enumerate-t{tn}"), name),
+            g,
+            |b, g| {
+                b.iter(|| edge_supports_parallel(g, tn).len());
+            },
+        );
+        // Figure 6 rows: peel alone, DFT post alone, FND end-to-end.
+        group.bench_with_input(BenchmarkId::new("peel-only", name), g, |b, g| {
             b.iter(|| {
                 let es = EdgeSpace::new(g);
                 peel(&es).max_lambda
             });
         });
-        // DFT post phase with peeling amortized outside the timer
-        let es = EdgeSpace::new(&g);
+        let es = EdgeSpace::new(g);
         let p = peel(&es);
-        group.bench_with_input(BenchmarkId::new("truss/dft-post-only", name), &g, |b, _| {
+        group.bench_with_input(BenchmarkId::new("dft-post-only", name), g, |b, _| {
             b.iter(|| dft(&es, &p).0.nucleus_count());
         });
-        // FND end-to-end (its post phase is the lightweight BuildHierarchy)
-        group.bench_with_input(BenchmarkId::new("truss/fnd-total", name), &g, |b, g| {
+        group.bench_with_input(BenchmarkId::new("fnd-total", name), g, |b, g| {
             b.iter(|| {
                 let es = EdgeSpace::new(g);
                 fnd(&es).hierarchy.nucleus_count()
             });
         });
+        let mat = MaterializedSpace::new(&es);
+        bench_assembly(&mut group, name, &mat);
+        bench_prepare_total(&mut group, name, g, Kind::Truss);
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_phase_split);
+fn bench_phases_nucleus34(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phases_nucleus34");
+    configure(&mut group);
+    let tn = all_threads();
+    for (name, g) in &inputs() {
+        // Prepare phase, split into its three passes: triangle
+        // enumeration, edge→thirds index, per-triangle K4 degrees.
+        group.bench_with_input(BenchmarkId::new("enumerate-serial", name), g, |b, g| {
+            b.iter(|| TriangleList::build(g).len());
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("enumerate-t{tn}"), name),
+            g,
+            |b, g| {
+                b.iter(|| TriangleList::build_with_threads(g, tn).len());
+            },
+        );
+        let tris = TriangleList::build(g);
+        group.bench_with_input(BenchmarkId::new("index-build-serial", name), g, |b, g| {
+            b.iter(|| TriangleIndex::build(g, &tris).incidence_count());
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("index-build-t{tn}"), name),
+            g,
+            |b, g| {
+                b.iter(|| TriangleIndex::build_with_threads(g, &tris, tn).incidence_count());
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("degrees-serial", name), g, |b, g| {
+            b.iter(|| nucleus_cliques::four_cliques::k4_degrees(g, &tris).len());
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("degrees-t{tn}"), name),
+            g,
+            |b, g| {
+                b.iter(|| k4_degrees_parallel(g, &tris, tn).len());
+            },
+        );
+        // Figure 6 rows.
+        group.bench_with_input(BenchmarkId::new("peel-only", name), g, |b, g| {
+            b.iter(|| {
+                let ts = TriangleSpace::new(g);
+                peel(&ts).max_lambda
+            });
+        });
+        let ts = TriangleSpace::new(g);
+        let p = peel(&ts);
+        group.bench_with_input(BenchmarkId::new("dft-post-only", name), g, |b, _| {
+            b.iter(|| dft(&ts, &p).0.nucleus_count());
+        });
+        group.bench_with_input(BenchmarkId::new("fnd-total", name), g, |b, g| {
+            b.iter(|| {
+                let ts = TriangleSpace::new(g);
+                fnd(&ts).hierarchy.nucleus_count()
+            });
+        });
+        let mat = MaterializedSpace::new(&ts);
+        bench_assembly(&mut group, name, &mat);
+        bench_prepare_total(&mut group, name, g, Kind::Nucleus34);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases_truss, bench_phases_nucleus34);
 criterion_main!(benches);

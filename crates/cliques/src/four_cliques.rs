@@ -1,8 +1,9 @@
 //! Four-clique (K4) counting per triangle — the ω₄ degrees peeled by the
-//! (3,4)-nucleus decomposition.
+//! (3,4)-nucleus decomposition — and per edge (the (2,4) family).
 
 use nucleus_graph::CsrGraph;
 
+use crate::triangle_index::TriangleIndex;
 use crate::triangles::TriangleList;
 
 /// Intersects three sorted slices, calling `f` for every common element.
@@ -39,6 +40,33 @@ pub fn k4_degrees(g: &CsrGraph, tris: &TriangleList) -> Vec<u32> {
         let mut c = 0u32;
         intersect3_sorted(g.neighbors(u), g.neighbors(v), g.neighbors(w), |_| c += 1);
         deg[t] = c;
+    }
+    deg
+}
+
+/// Number of K4s containing one edge `e = {u, v}`, given the sorted
+/// `(third, tid)` list of triangles over `e`: every K4 through `e` is a
+/// pair of thirds `{w, x}` that is itself an edge of `g`.
+#[inline]
+pub fn k4_degree_of_edge(g: &CsrGraph, thirds: &[(u32, u32)]) -> u32 {
+    let mut c = 0u32;
+    for (i, &(w, _)) in thirds.iter().enumerate() {
+        for &(x, _) in &thirds[i + 1..] {
+            if g.edge_id(w, x).is_some() {
+                c += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Number of K4s containing each *edge* of `g` (the ω₄ degrees peeled by
+/// the (2,4)-nucleus decomposition), indexed by edge id.
+pub fn k4_edge_degrees(g: &CsrGraph, index: &TriangleIndex) -> Vec<u32> {
+    let m = g.m();
+    let mut deg = vec![0u32; m];
+    for e in 0..m as u32 {
+        deg[e as usize] = k4_degree_of_edge(g, index.thirds(e));
     }
     deg
 }
@@ -82,6 +110,23 @@ mod tests {
         let tl = TriangleList::build(&g);
         assert_eq!(k4_count(&g, &tl), 0);
         assert!(k4_degrees(&g, &tl).iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn k4_edge_degrees_of_k5_and_diamond() {
+        let g = complete(5);
+        let tl = TriangleList::build(&g);
+        let idx = TriangleIndex::build(&g, &tl);
+        // every edge of K5 is in exactly C(3,2) = 3 K4s
+        assert!(k4_edge_degrees(&g, &idx).iter().all(|&d| d == 3));
+        // consistency: Σ_e ω₄(e) = 6 × #K4 (each K4 has 6 edges)
+        let sum: u64 = k4_edge_degrees(&g, &idx).iter().map(|&d| d as u64).sum();
+        assert_eq!(sum, 6 * k4_count(&g, &tl));
+
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let tl = TriangleList::build(&g);
+        let idx = TriangleIndex::build(&g, &tl);
+        assert!(k4_edge_degrees(&g, &idx).iter().all(|&d| d == 0));
     }
 
     #[test]

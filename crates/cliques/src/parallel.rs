@@ -6,8 +6,9 @@
 
 use nucleus_graph::CsrGraph;
 
-use crate::four_cliques::intersect3_sorted;
-use crate::triangles::{OrientedAdjacency, TriangleList};
+use crate::four_cliques::{intersect3_sorted, k4_degree_of_edge};
+use crate::triangle_index::TriangleIndex;
+use crate::triangles::{for_each_triangle_from, OrientedAdjacency, TriangleList};
 
 /// Splits `0..weights.len()` into at most `parts` contiguous ranges of
 /// approximately equal total weight (`weights[i]` per item). The ranges
@@ -49,22 +50,55 @@ pub fn balanced_ranges(weights: &[usize], parts: usize) -> Vec<std::ops::Range<u
 /// range's share of `out` (the shares must tile `out` front to back).
 /// This keeps the `split_at_mut` cursor arithmetic every parallel fill
 /// needs in one audited place.
-pub fn fill_ranges_scoped<L, W>(
-    out: &mut [u32],
+pub fn fill_ranges_scoped<T, L, W>(
+    out: &mut [T],
     ranges: Vec<std::ops::Range<usize>>,
     chunk_len: L,
     work: W,
 ) where
+    T: Send,
     L: Fn(&std::ops::Range<usize>) -> usize,
-    W: Fn(std::ops::Range<usize>, &mut [u32]) + Sync,
+    W: Fn(std::ops::Range<usize>, &mut [T]) + Sync,
 {
     std::thread::scope(|scope| {
-        let mut rest: &mut [u32] = out;
+        let mut rest: &mut [T] = out;
         for range in ranges {
             let (chunk, tail) = rest.split_at_mut(chunk_len(&range));
             rest = tail;
             let work = &work;
             scope.spawn(move || work(range, chunk));
+        }
+    });
+}
+
+/// [`fill_ranges_scoped`] over **two** output buffers filled in
+/// lockstep: splits `out_a` and `out_b` into one disjoint chunk pair per
+/// range (`chunk_lens[i]` elements each, so the chunks must tile both
+/// buffers front to back) and runs `work(range, chunk_a, chunk_b)` on a
+/// scoped worker thread per pair. Used by builders that emit two
+/// parallel arrays per item, like [`TriangleList::build_with_threads`].
+pub fn fill_ranges_pair_scoped<A, B, W>(
+    out_a: &mut [A],
+    out_b: &mut [B],
+    ranges: Vec<std::ops::Range<usize>>,
+    chunk_lens: &[usize],
+    work: W,
+) where
+    A: Send,
+    B: Send,
+    W: Fn(std::ops::Range<usize>, &mut [A], &mut [B]) + Sync,
+{
+    assert_eq!(ranges.len(), chunk_lens.len(), "one chunk size per range");
+    std::thread::scope(|scope| {
+        let mut rest_a: &mut [A] = out_a;
+        let mut rest_b: &mut [B] = out_b;
+        for (range, &len) in ranges.into_iter().zip(chunk_lens) {
+            let (chunk_a, tail_a) = rest_a.split_at_mut(len);
+            let (chunk_b, tail_b) = rest_b.split_at_mut(len);
+            rest_a = tail_a;
+            rest_b = tail_b;
+            let work = &work;
+            scope.spawn(move || work(range, chunk_a, chunk_b));
         }
     });
 }
@@ -88,22 +122,7 @@ pub fn triangle_count_parallel(g: &CsrGraph, threads: usize) -> u64 {
             handles.push(scope.spawn(move || {
                 let mut count = 0u64;
                 for u in range {
-                    let out_u = oriented.out(u as u32);
-                    for &(v, _) in out_u {
-                        let out_v = oriented.out(v);
-                        let (mut i, mut j) = (0usize, 0usize);
-                        while i < out_u.len() && j < out_v.len() {
-                            match out_u[i].0.cmp(&out_v[j].0) {
-                                std::cmp::Ordering::Less => i += 1,
-                                std::cmp::Ordering::Greater => j += 1,
-                                std::cmp::Ordering::Equal => {
-                                    count += 1;
-                                    i += 1;
-                                    j += 1;
-                                }
-                            }
-                        }
-                    }
+                    for_each_triangle_from(oriented, u as u32, &mut |_, _, _, _, _, _| count += 1);
                 }
                 count
             }));
@@ -201,11 +220,84 @@ pub fn k4_degrees_parallel(g: &CsrGraph, tris: &TriangleList, threads: usize) ->
     deg
 }
 
+/// Computes per-vertex triangle counts using `threads` worker threads —
+/// the parallel twin of [`crate::triangles::vertex_triangle_counts`].
+/// Same private-partials-then-sum scheme as [`edge_supports_parallel`].
+pub fn vertex_triangle_counts_parallel(g: &CsrGraph, threads: usize) -> Vec<u32> {
+    let oriented = OrientedAdjacency::build(g);
+    let weights: Vec<usize> = (0..g.n() as u32)
+        .map(|u| {
+            let d = oriented.out(u).len();
+            d * d + d
+        })
+        .collect();
+    let ranges = balanced_ranges(&weights, threads);
+    let n = g.n();
+    let partials: Vec<Vec<u32>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let oriented = &oriented;
+                scope.spawn(move || {
+                    let mut deg = vec![0u32; n];
+                    for u in range {
+                        for_each_triangle_from(oriented, u as u32, &mut |a, b, c, _, _, _| {
+                            deg[a as usize] += 1;
+                            deg[b as usize] += 1;
+                            deg[c as usize] += 1;
+                        });
+                    }
+                    deg
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut total = vec![0u32; n];
+    for partial in partials {
+        for (t, p) in total.iter_mut().zip(partial) {
+            *t += p;
+        }
+    }
+    total
+}
+
+/// Computes per-edge K4 degrees using `threads` worker threads — the
+/// parallel twin of [`crate::four_cliques::k4_edge_degrees`]. Edges are
+/// independent given the [`TriangleIndex`], so each worker fills a
+/// disjoint slice; ranges are balanced by the quadratic pair-scan cost
+/// over each edge's third-vertex list.
+pub fn k4_edge_degrees_parallel(g: &CsrGraph, index: &TriangleIndex, threads: usize) -> Vec<u32> {
+    let m = g.m();
+    let mut deg = vec![0u32; m];
+    let weights: Vec<usize> = (0..m as u32)
+        .map(|e| {
+            let t = index.thirds(e).len();
+            t * t + 1
+        })
+        .collect();
+    let ranges = balanced_ranges(&weights, threads);
+    fill_ranges_scoped(
+        &mut deg,
+        ranges,
+        |range| range.len(),
+        |range, chunk| {
+            for (slot, e) in chunk.iter_mut().zip(range) {
+                *slot = k4_degree_of_edge(g, index.thirds(e as u32));
+            }
+        },
+    );
+    deg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::four_cliques::k4_degrees;
-    use crate::triangles::{edge_supports, triangle_count};
+    use crate::four_cliques::{k4_degrees, k4_edge_degrees};
+    use crate::triangles::{edge_supports, triangle_count, vertex_triangle_counts};
 
     fn complete(n: u32) -> CsrGraph {
         let mut edges = vec![];
@@ -309,6 +401,55 @@ mod tests {
         }
         // parts = 0 is clamped to 1
         assert_eq!(balanced_ranges(&w, 0), vec![0..2]);
+    }
+
+    #[test]
+    fn vertex_triangle_counts_parallel_matches_serial() {
+        let g = complete(15);
+        let serial = vertex_triangle_counts(&g);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(vertex_triangle_counts_parallel(&g, threads), serial);
+        }
+
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        let edges: Vec<(u32, u32)> = (0..2000)
+            .map(|_| (rng.gen_range(0..300u32), rng.gen_range(0..300u32)))
+            .collect();
+        let g = CsrGraph::from_edges(300, &edges);
+        let serial = vertex_triangle_counts(&g);
+        for threads in [2, 3, 8] {
+            assert_eq!(vertex_triangle_counts_parallel(&g, threads), serial);
+        }
+
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(vertex_triangle_counts_parallel(&g, 4).is_empty());
+    }
+
+    #[test]
+    fn k4_edge_degrees_parallel_matches_serial() {
+        let g = complete(12);
+        let tl = TriangleList::build(&g);
+        let idx = TriangleIndex::build(&g, &tl);
+        let serial = k4_edge_degrees(&g, &idx);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(k4_edge_degrees_parallel(&g, &idx, threads), serial);
+        }
+
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(29);
+        let edges: Vec<(u32, u32)> = (0..1500)
+            .map(|_| (rng.gen_range(0..160u32), rng.gen_range(0..160u32)))
+            .collect();
+        let g = CsrGraph::from_edges(160, &edges);
+        let tl = TriangleList::build(&g);
+        let idx = TriangleIndex::build(&g, &tl);
+        let serial = k4_edge_degrees(&g, &idx);
+        for threads in [2, 3, 8] {
+            assert_eq!(k4_edge_degrees_parallel(&g, &idx, threads), serial);
+        }
     }
 
     #[test]

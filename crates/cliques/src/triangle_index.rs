@@ -10,7 +10,7 @@ use crate::triangles::TriangleList;
 /// This replaces a `HashMap<(u32,u32,u32), u32>` on the (3,4) peeling hot
 /// path: a triangle id is found with one binary search in the third-vertex
 /// list of any of its edges.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TriangleIndex {
     offsets: Vec<usize>,
     /// `(third vertex, triangle id)`, sorted by third vertex per edge.
@@ -44,6 +44,112 @@ impl TriangleIndex {
         for e in 0..m {
             entries[offsets[e]..offsets[e + 1]].sort_unstable();
         }
+        TriangleIndex { offsets, entries }
+    }
+
+    /// Builds the index using `threads` worker threads, producing
+    /// **exactly** the output of [`TriangleIndex::build`].
+    ///
+    /// Three passes: (1) per-worker per-edge incidence counts over
+    /// balanced triangle ranges, summed then prefix-summed into the CSR
+    /// offsets; (2) a relaxed-atomic scatter of `third << 32 | tid`
+    /// words into each edge's slot range (per-edge cursors are
+    /// `AtomicUsize`, so workers write disjoint cells in arbitrary
+    /// order); (3) a per-edge-range sort-and-unpack. The per-edge sort
+    /// canonicalizes whatever interleaving the scatter produced: the
+    /// packed `u64` order equals `(third, tid)` tuple order, and each
+    /// third vertex appears at most once per edge, so the sorted result
+    /// is the serial builder's sorted result bit for bit.
+    pub fn build_with_threads(g: &CsrGraph, tris: &TriangleList, threads: usize) -> Self {
+        if threads <= 1 {
+            return Self::build(g, tris);
+        }
+        use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+        let m = g.m();
+        let t = tris.len();
+        let tri_ranges = crate::parallel::balanced_ranges(&vec![1usize; t], threads);
+        // Pass 1: per-edge incidence counts (3 per triangle).
+        let partials: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = tri_ranges
+                .iter()
+                .cloned()
+                .map(|range| {
+                    scope.spawn(move || {
+                        let mut counts = vec![0u32; m];
+                        for es in &tris.edges[range] {
+                            for &e in es {
+                                counts[e as usize] += 1;
+                            }
+                        }
+                        counts
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let mut offsets = vec![0usize; m + 1];
+        for partial in partials {
+            for (o, p) in offsets[1..].iter_mut().zip(partial) {
+                *o += p as usize;
+            }
+        }
+        for i in 1..=m {
+            offsets[i] += offsets[i - 1];
+        }
+        // Pass 2: scatter packed (third, tid) words into slot ranges.
+        let total = offsets[m];
+        let cursor: Vec<AtomicUsize> = offsets[..m].iter().map(|&o| AtomicUsize::new(o)).collect();
+        let packed: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|scope| {
+            for range in tri_ranges {
+                let (cursor, packed) = (&cursor, &packed);
+                scope.spawn(move || {
+                    let base = range.start;
+                    for (i, (vs, es)) in tris.vertices[range.clone()]
+                        .iter()
+                        .zip(&tris.edges[range])
+                        .enumerate()
+                    {
+                        let tid = (base + i) as u32;
+                        let [u, v, w] = *vs;
+                        let thirds = [w, v, u]; // per edge (u,v), (u,w), (v,w)
+                        for (&e, &third) in es.iter().zip(&thirds) {
+                            let slot = cursor[e as usize].fetch_add(1, Ordering::Relaxed);
+                            packed[slot]
+                                .store((third as u64) << 32 | tid as u64, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let mut packed: Vec<u64> = packed.into_iter().map(|a| a.into_inner()).collect();
+        // Pass 3: per-edge sort + unpack, over balanced edge ranges.
+        let mut entries = vec![(0u32, 0u32); total];
+        let weights: Vec<usize> = (0..m).map(|e| offsets[e + 1] - offsets[e] + 1).collect();
+        let edge_ranges = crate::parallel::balanced_ranges(&weights, threads);
+        let chunk_lens: Vec<usize> = edge_ranges
+            .iter()
+            .map(|r| offsets[r.end] - offsets[r.start])
+            .collect();
+        crate::parallel::fill_ranges_pair_scoped(
+            &mut packed,
+            &mut entries,
+            edge_ranges,
+            &chunk_lens,
+            |range, pchunk, echunk| {
+                let base = offsets[range.start];
+                for e in range {
+                    let (s, t) = (offsets[e] - base, offsets[e + 1] - base);
+                    pchunk[s..t].sort_unstable();
+                    for (slot, &p) in echunk[s..t].iter_mut().zip(&pchunk[s..t]) {
+                        *slot = ((p >> 32) as u32, p as u32);
+                    }
+                }
+            },
+        );
         TriangleIndex { offsets, entries }
     }
 
@@ -89,6 +195,39 @@ mod tests {
             assert_eq!(idx.tid(es[1], v), Some(tid as u32));
             assert_eq!(idx.tid(es[2], u), Some(tid as u32));
         }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let edges: Vec<(u32, u32)> = (0..2500)
+            .map(|_| (rng.gen_range(0..250u32), rng.gen_range(0..250u32)))
+            .collect();
+        let mut k5 = vec![];
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                k5.push((u, v));
+            }
+        }
+        for g in [
+            diamond(),
+            CsrGraph::from_edges(5, &k5),
+            CsrGraph::from_edges(250, &edges),
+        ] {
+            let tl = TriangleList::build(&g);
+            let serial = TriangleIndex::build(&g, &tl);
+            for threads in [1, 2, 4, 7] {
+                assert_eq!(TriangleIndex::build_with_threads(&g, &tl, threads), serial);
+            }
+        }
+        // triangle-free graph: all edges have empty third lists
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let tl = TriangleList::build(&g);
+        let idx = TriangleIndex::build_with_threads(&g, &tl, 4);
+        assert_eq!(idx.incidence_count(), 0);
+        assert_eq!(idx, TriangleIndex::build(&g, &tl));
     }
 
     #[test]

@@ -53,6 +53,37 @@ impl OrientedAdjacency {
     }
 }
 
+/// Calls `f(u, v, w, e_uv, e_uw, e_vw)` for every triangle whose
+/// lowest-rank (orientation-wise first) vertex is `u` — the inner loop of
+/// the full sweep, exposed so parallel builders can enumerate disjoint
+/// vertex ranges in the exact order of the serial sweep.
+#[inline]
+pub(crate) fn for_each_triangle_from<F: FnMut(u32, u32, u32, u32, u32, u32)>(
+    oriented: &OrientedAdjacency,
+    u: u32,
+    f: &mut F,
+) {
+    let out_u = oriented.out(u);
+    for &(v, e_uv) in out_u {
+        let out_v = oriented.out(v);
+        // Sorted-list intersection of out(u) and out(v).
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < out_u.len() && j < out_v.len() {
+            let (a, e_uw) = out_u[i];
+            let (b, e_vw) = out_v[j];
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    f(u, v, a, e_uv, e_uw, e_vw);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
 /// Calls `f(u, v, w, e_uv, e_uw, e_vw)` once per triangle of `g`.
 ///
 /// The vertex triple is *not* sorted by id (it follows the orientation);
@@ -61,25 +92,7 @@ impl OrientedAdjacency {
 pub fn for_each_triangle<F: FnMut(u32, u32, u32, u32, u32, u32)>(g: &CsrGraph, mut f: F) {
     let oriented = OrientedAdjacency::build(g);
     for u in 0..g.n() as u32 {
-        let out_u = oriented.out(u);
-        for &(v, e_uv) in out_u {
-            let out_v = oriented.out(v);
-            // Sorted-list intersection of out(u) and out(v).
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < out_u.len() && j < out_v.len() {
-                let (a, e_uw) = out_u[i];
-                let (b, e_vw) = out_v[j];
-                match a.cmp(&b) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        f(u, v, a, e_uv, e_uw, e_vw);
-                        i += 1;
-                        j += 1;
-                    }
-                }
-            }
-        }
+        for_each_triangle_from(&oriented, u, &mut f);
     }
 }
 
@@ -102,9 +115,53 @@ pub fn edge_supports(g: &CsrGraph) -> Vec<u32> {
     support
 }
 
+/// Per-vertex triangle counts (the degrees peeled by the (1,3)
+/// decomposition), indexed by vertex id.
+pub fn vertex_triangle_counts(g: &CsrGraph) -> Vec<u32> {
+    let mut deg = vec![0u32; g.n()];
+    for_each_triangle(g, |u, v, w, _, _, _| {
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+        deg[w as usize] += 1;
+    });
+    deg
+}
+
+/// Canonical record of one triangle `{a, b, c}` with edge ids `e_ab`,
+/// `e_ac`, `e_bc`: returns `([u, v, w], [e_uv, e_uw, e_vw])` with the
+/// vertices sorted ascending and the edge ids permuted to match.
+///
+/// Each vertex is paired with its *opposite* edge (the one joining the
+/// other two); that pairing survives any permutation, so one 3-element
+/// sort by vertex id yields both canonical arrays at once — shared by
+/// the serial and parallel [`TriangleList`] builders so both emit
+/// identical records from one place.
+#[inline]
+pub(crate) fn canonical_triangle(
+    a: u32,
+    b: u32,
+    c: u32,
+    e_ab: u32,
+    e_ac: u32,
+    e_bc: u32,
+) -> ([u32; 3], [u32; 3]) {
+    let mut p = [(a, e_bc), (b, e_ac), (c, e_ab)];
+    if p[0].0 > p[1].0 {
+        p.swap(0, 1);
+    }
+    if p[1].0 > p[2].0 {
+        p.swap(1, 2);
+    }
+    if p[0].0 > p[1].0 {
+        p.swap(0, 1);
+    }
+    // edges [e(u,v), e(u,w), e(v,w)] = [opposite(w), opposite(v), opposite(u)]
+    ([p[0].0, p[1].0, p[2].0], [p[2].1, p[1].1, p[0].1])
+}
+
 /// Materialized triangle list: each triangle's vertices (sorted by id)
 /// and edge ids, identified by a dense triangle id in enumeration order.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TriangleList {
     /// Vertex triples, each sorted ascending.
     pub vertices: Vec<[u32; 3]>,
@@ -119,26 +176,85 @@ impl TriangleList {
         let mut vertices = Vec::new();
         let mut edges = Vec::new();
         for_each_triangle(g, |a, b, c, e_ab, e_ac, e_bc| {
-            // Sort the triple by vertex id, permuting edge ids to match:
-            // edge[i] joins the two vertices other than vertices[2 - ?]...
-            // Simplest correct mapping: recompute which edge joins which
-            // pair after sorting.
-            let mut vs = [a, b, c];
-            vs.sort_unstable();
-            let [u, v, w] = vs;
-            let pick = |x: u32, y: u32| -> u32 {
-                if (x, y) == (a.min(b), a.max(b)) {
-                    e_ab
-                } else if (x, y) == (a.min(c), a.max(c)) {
-                    e_ac
-                } else {
-                    debug_assert_eq!((x, y), (b.min(c), b.max(c)));
-                    e_bc
-                }
-            };
+            let (vs, es) = canonical_triangle(a, b, c, e_ab, e_ac, e_bc);
             vertices.push(vs);
-            edges.push([pick(u, v), pick(u, w), pick(v, w)]);
+            edges.push(es);
         });
+        TriangleList { vertices, edges }
+    }
+
+    /// Enumerates and stores all triangles of `g` using `threads` worker
+    /// threads, producing **exactly** the output of
+    /// [`TriangleList::build`] — same triangles, same enumeration order,
+    /// same dense ids.
+    ///
+    /// Two passes over the oriented adjacency: per-range triangle counts
+    /// over [`crate::balanced_ranges`] (weighted by out-degree like
+    /// [`crate::parallel::triangle_count_parallel`]), an exclusive
+    /// prefix sum, then a scoped fill of each range's disjoint chunk in
+    /// the serial sweep's vertex-major order.
+    pub fn build_with_threads(g: &CsrGraph, threads: usize) -> Self {
+        if threads <= 1 {
+            return Self::build(g);
+        }
+        let oriented = OrientedAdjacency::build(g);
+        let weights: Vec<usize> = (0..g.n() as u32)
+            .map(|u| {
+                let d = oriented.out(u).len();
+                d * d + d
+            })
+            .collect();
+        let ranges = crate::parallel::balanced_ranges(&weights, threads);
+        // Pass 1: triangles per range.
+        let counts: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .cloned()
+                .map(|range| {
+                    let oriented = &oriented;
+                    scope.spawn(move || {
+                        let mut c = 0usize;
+                        for u in range {
+                            for_each_triangle_from(oriented, u as u32, &mut |_, _, _, _, _, _| {
+                                c += 1
+                            });
+                        }
+                        c
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        // Pass 2: prefix-sum the counts into chunk sizes and fill each
+        // range's slice of both arrays in enumeration order.
+        let total: usize = counts.iter().sum();
+        let mut vertices = vec![[0u32; 3]; total];
+        let mut edges = vec![[0u32; 3]; total];
+        crate::parallel::fill_ranges_pair_scoped(
+            &mut vertices,
+            &mut edges,
+            ranges,
+            &counts,
+            |range, vs_chunk, es_chunk| {
+                let mut pos = 0usize;
+                for u in range {
+                    for_each_triangle_from(
+                        &oriented,
+                        u as u32,
+                        &mut |a, b, c, e_ab, e_ac, e_bc| {
+                            let (vs, es) = canonical_triangle(a, b, c, e_ab, e_ac, e_bc);
+                            vs_chunk[pos] = vs;
+                            es_chunk[pos] = es;
+                            pos += 1;
+                        },
+                    );
+                }
+                assert_eq!(pos, vs_chunk.len(), "count pass must match fill pass");
+            },
+        );
         TriangleList { vertices, edges }
     }
 
@@ -206,6 +322,27 @@ mod tests {
             assert_eq!(es[1], g.edge_id(u, w).unwrap());
             assert_eq!(es[2], g.edge_id(v, w).unwrap());
         }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let edges: Vec<(u32, u32)> = (0..2500)
+            .map(|_| (rng.gen_range(0..250u32), rng.gen_range(0..250u32)))
+            .collect();
+        for g in [k5(), CsrGraph::from_edges(250, &edges)] {
+            let serial = TriangleList::build(&g);
+            for threads in [1, 2, 4, 7] {
+                assert_eq!(TriangleList::build_with_threads(&g, threads), serial);
+            }
+        }
+        // triangle-free and empty inputs
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(TriangleList::build_with_threads(&g, 4).is_empty());
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(TriangleList::build_with_threads(&g, 4).is_empty());
     }
 
     #[test]

@@ -25,13 +25,38 @@
 //! first-processed member applies decrements. Same-λ unions go through
 //! a lock-free [`ConcurrentSets`] over cells; cross-λ adjacencies
 //! accumulate in per-worker buffers concatenated in deterministic range
-//! order. A sequential finalize then allocates one sub-nucleus per
-//! component (in emission order), resolves the buffered pairs, and
-//! reuses the serial `BuildHierarchy` — producing the same canonical
-//! [`Hierarchy`] as [`fnd`], bit for bit, at every thread count.
+//! order. A finalize pass ([`fnd_classify`]) then allocates one
+//! sub-nucleus per component (in emission order) and resolves the
+//! buffered pairs, and [`build_hierarchy`] assembles the skeleton —
+//! producing the same canonical [`Hierarchy`] as [`fnd`], bit for bit,
+//! at every thread count.
+//!
+//! # Parallel `BuildHierarchy`
+//!
+//! The assembly pass itself (Alg. 9) parallelizes its two read-heavy
+//! phases while keeping every forest **mutation** sequential:
+//!
+//! 1. λ-binning of the `ADJ` pairs runs as per-worker bucket lists over
+//!    balanced ranges, absorbed in range order — each bin ends up in
+//!    exactly the order the serial pass would have pushed.
+//! 2. Per bin, a read-only *hint* pass resolves every pair's greatest
+//!    ancestors concurrently ([`nucleus_dsf::RootedForest::peek_r`]);
+//!    the sequential drain then re-resolves from the hint (an ancestor
+//!    on the pair's root path, so `find_r(hint)` is exact even after
+//!    earlier pairs in the bin mutated the forest) and installs an O(1)
+//!    compression shortcut per endpoint.
+//!
+//! Deliberate deviation from a fully concurrent drain: attach/merge
+//! decisions depend on the forest's evolving rank/root state, so
+//! free-running concurrent unions (e.g. through [`ConcurrentSets`])
+//! would produce winner choices — and therefore `parent` links — that
+//! vary with thread interleaving. The hint scheme keeps the *decision
+//! sequence* exactly serial, which is what makes the hierarchy
+//! bit-identical at every thread count.
 
 use std::time::{Duration, Instant};
 
+use nucleus_cliques::{balanced_ranges, fill_ranges_scoped};
 use nucleus_dsf::ConcurrentSets;
 use nucleus_graph::bucket::PeelBuckets;
 
@@ -175,7 +200,7 @@ pub fn fnd_with_options<S: PeelSpace>(space: &S, options: FndOptions) -> FndOutc
     let peel_time = t0.elapsed();
 
     let t1 = Instant::now();
-    build_hierarchy(&mut sk, &adj, max_lambda);
+    build_hierarchy(&mut sk, &adj, max_lambda, 1, usize::MAX);
     let stats = FndStats {
         subnuclei: sk.len(),
         adj_connections: adj.len(),
@@ -307,6 +332,71 @@ pub fn fnd_parallel_with<S: PeelSpace + Sync>(
     options: FndOptions,
     frontier: FrontierOptions,
 ) -> FndOutcome {
+    let threads = frontier.threads;
+    let min_parallel = frontier.min_parallel_work;
+    let FndClassified {
+        peeling,
+        skeleton: mut sk,
+        adj,
+        peel_time,
+        resolve_time,
+    } = fnd_classify(space, options, frontier);
+
+    let t1 = Instant::now();
+    build_hierarchy(&mut sk, &adj, peeling.max_lambda, threads, min_parallel);
+    let stats = FndStats {
+        subnuclei: sk.len(),
+        adj_connections: adj.len(),
+    };
+    drop(adj);
+    let raw = sk.into_raw();
+    let hierarchy = raw.into_hierarchy(
+        space.r(),
+        space.s(),
+        peeling.lambda.clone(),
+        peeling.max_lambda,
+    );
+    let post_time = resolve_time + t1.elapsed();
+
+    FndOutcome {
+        peeling,
+        hierarchy,
+        stats,
+        peel_time,
+        post_time,
+    }
+}
+
+/// A parallel FND run stopped just short of hierarchy assembly: the
+/// peeling, the skeleton (one sub-nucleus per same-λ component,
+/// allocated in emission order), and the resolved `ADJ` pairs — exactly
+/// the inputs of [`build_hierarchy`]. Split out of
+/// [`fnd_parallel_with`] so the assembly pass can be timed and re-run
+/// in isolation (the phase benches clone the skeleton per iteration).
+#[derive(Debug)]
+pub struct FndClassified {
+    /// λ values and processing order.
+    pub peeling: Peeling,
+    /// Skeleton with components assigned but no hierarchy links yet.
+    pub skeleton: Skeleton,
+    /// Resolved `(higher-λ, lower-λ)` sub-nucleus pairs, in emission
+    /// order (deduped when the options asked for it).
+    pub adj: Vec<(u32, u32)>,
+    /// Extended-peeling wall time.
+    pub peel_time: Duration,
+    /// Finalize wall time (sub-nucleus allocation + `ADJ` resolution).
+    pub resolve_time: Duration,
+}
+
+/// The classification half of [`fnd_parallel_with`]: peels through the
+/// frontier engine with the FND sink, then finalizes components and
+/// adjacency pairs. Feed the result to [`build_hierarchy`] (and
+/// [`Skeleton::into_raw`]) to finish the decomposition.
+pub fn fnd_classify<S: PeelSpace + Sync>(
+    space: &S,
+    options: FndOptions,
+    frontier: FrontierOptions,
+) -> FndClassified {
     let t0 = Instant::now();
     let n = space.cell_count();
     let mut sink = FndSink {
@@ -336,72 +426,190 @@ pub fn fnd_parallel_with<S: PeelSpace + Sync>(
         sk.comp[u as usize] = sn_of_root[root];
     }
     // Resolve adjacency intents to sub-nucleus pairs; both endpoints
-    // have λ ≥ 1, so both components were assigned above.
-    let mut adj: Vec<(u32, u32)> = Vec::with_capacity(sink.adj.len());
-    for &(hi, lo) in &sink.adj {
-        let pair = (sk.comp[hi as usize], sk.comp[lo as usize]);
-        debug_assert_ne!(pair.0, NO_NODE);
-        debug_assert_ne!(pair.1, NO_NODE);
-        if !(options.dedup_adjacent && adj.last() == Some(&pair)) {
-            adj.push(pair);
+    // have λ ≥ 1, so both components were assigned above. Intents are
+    // independent, so the map parallelizes over disjoint chunks; the
+    // optional dedup is a serial scan equivalent to the skip-on-push.
+    let intents = std::mem::take(&mut sink.adj);
+    let mut adj: Vec<(u32, u32)> = if frontier.threads > 1
+        && !intents.is_empty()
+        && intents.len() >= frontier.min_parallel_work
+    {
+        let mut out = vec![(0u32, 0u32); intents.len()];
+        let ranges = balanced_ranges(&vec![1usize; intents.len()], frontier.threads);
+        let comp = &sk.comp;
+        fill_ranges_scoped(
+            &mut out,
+            ranges,
+            |range| range.len(),
+            |range, chunk| {
+                for (slot, &(hi, lo)) in chunk.iter_mut().zip(&intents[range]) {
+                    let pair = (comp[hi as usize], comp[lo as usize]);
+                    debug_assert_ne!(pair.0, NO_NODE);
+                    debug_assert_ne!(pair.1, NO_NODE);
+                    *slot = pair;
+                }
+            },
+        );
+        out
+    } else {
+        intents
+            .iter()
+            .map(|&(hi, lo)| {
+                let pair = (sk.comp[hi as usize], sk.comp[lo as usize]);
+                debug_assert_ne!(pair.0, NO_NODE);
+                debug_assert_ne!(pair.1, NO_NODE);
+                pair
+            })
+            .collect()
+    };
+    if options.dedup_adjacent {
+        adj.dedup();
+    }
+    let resolve_time = t1.elapsed();
+
+    FndClassified {
+        peeling,
+        skeleton: sk,
+        adj,
+        peel_time,
+        resolve_time,
+    }
+}
+
+/// The shared drain decision for one `ADJ` pair whose endpoints resolved
+/// to tops `sf` / `tf` in bin `k`: attach across λ levels immediately,
+/// defer same-λ merges to the end of the bin.
+#[inline]
+fn drain_pair(sk: &mut Skeleton, merge: &mut Vec<(u32, u32)>, k: usize, sf: u32, tf: u32) {
+    if sf == tf {
+        return;
+    }
+    debug_assert_eq!(
+        sk.lambda[tf as usize] as usize, k,
+        "lower-side root keeps bin λ"
+    );
+    if sk.lambda[sf as usize] > sk.lambda[tf as usize] {
+        sk.forest.attach(sf, tf);
+    } else {
+        debug_assert_eq!(sk.lambda[sf as usize], sk.lambda[tf as usize]);
+        merge.push((sf, tf));
+    }
+}
+
+/// λ-bins the `ADJ` pairs with worker threads: per-worker bucket lists
+/// over balanced ranges, absorbed in range order — bin contents end up
+/// in exactly the adj (= serial push) order.
+fn bin_pairs_parallel(
+    sk: &Skeleton,
+    adj: &[(u32, u32)],
+    nbins: usize,
+    threads: usize,
+) -> Vec<Vec<(u32, u32)>> {
+    let ranges = balanced_ranges(&vec![1usize; adj.len()], threads);
+    let parts: Vec<Vec<Vec<(u32, u32)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let lambda = &sk.lambda;
+                scope.spawn(move || {
+                    let mut bins = vec![Vec::new(); nbins];
+                    for &(s, t) in &adj[range] {
+                        debug_assert!(lambda[s as usize] > lambda[t as usize]);
+                        bins[lambda[t as usize] as usize].push((s, t));
+                    }
+                    bins
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut bins = vec![Vec::new(); nbins];
+    for part in parts {
+        for (bin, mut local) in bins.iter_mut().zip(part) {
+            bin.append(&mut local);
         }
     }
-    build_hierarchy(&mut sk, &adj, peeling.max_lambda);
-    let stats = FndStats {
-        subnuclei: sk.len(),
-        adj_connections: adj.len(),
-    };
-    drop(adj);
-    let raw = sk.into_raw();
-    let hierarchy = raw.into_hierarchy(
-        space.r(),
-        space.s(),
-        peeling.lambda.clone(),
-        peeling.max_lambda,
-    );
-    let post_time = t1.elapsed();
-
-    FndOutcome {
-        peeling,
-        hierarchy,
-        stats,
-        peel_time,
-        post_time,
-    }
+    bins
 }
 
 /// `BuildHierarchy` (Algorithm 9): bin the `ADJ` pairs by the λ of their
 /// lower side and process bins in decreasing λ, attaching or merging
 /// greatest ancestors — the same bottom-up discipline as DF-Traversal.
-fn build_hierarchy(sk: &mut Skeleton, adj: &[(u32, u32)], max_lambda: u32) {
+///
+/// With `threads > 1` and at least `min_parallel_work` pairs, the two
+/// read-heavy phases run on worker threads (λ-binning via per-worker
+/// buckets absorbed in range order; per-bin greatest-ancestor *hints*
+/// via the read-only [`nucleus_dsf::RootedForest::peek_r`]) while every
+/// forest mutation stays on the calling thread, re-resolving each hint
+/// with `find_r` — a hint is an ancestor on its endpoint's root path,
+/// so the re-resolution is exact even after earlier pairs in the bin
+/// mutated the forest. The attach/merge decision sequence is therefore
+/// exactly the serial one, making the resulting skeleton (`parent`
+/// links, sub-nucleus λ, components) **bit-identical** at every thread
+/// count; see the module docs for why a fully concurrent drain was
+/// rejected.
+pub fn build_hierarchy(
+    sk: &mut Skeleton,
+    adj: &[(u32, u32)],
+    max_lambda: u32,
+    threads: usize,
+    min_parallel_work: usize,
+) {
     if adj.is_empty() {
         return;
     }
-    let mut bins: Vec<Vec<(u32, u32)>> = vec![Vec::new(); max_lambda as usize + 1];
-    for &(s, t) in adj {
-        debug_assert!(sk.lambda[s as usize] > sk.lambda[t as usize]);
-        bins[sk.lambda[t as usize] as usize].push((s, t));
-    }
+    let parallel = threads > 1 && adj.len() >= min_parallel_work;
+    let nbins = max_lambda as usize + 1;
+    let mut bins: Vec<Vec<(u32, u32)>> = if parallel {
+        bin_pairs_parallel(sk, adj, nbins, threads)
+    } else {
+        let mut bins = vec![Vec::new(); nbins];
+        for &(s, t) in adj {
+            debug_assert!(sk.lambda[s as usize] > sk.lambda[t as usize]);
+            bins[sk.lambda[t as usize] as usize].push((s, t));
+        }
+        bins
+    };
     let mut merge: Vec<(u32, u32)> = Vec::new();
+    let mut hints: Vec<(u32, u32)> = Vec::new();
     for k in (1..=max_lambda as usize).rev() {
         merge.clear();
         // Taking the bin out lets us mutate the forest while iterating.
         let bin = std::mem::take(&mut bins[k]);
-        for (s, t) in bin {
-            let sf = sk.forest.find_r(s);
-            let tf = sk.forest.find_r(t);
-            if sf == tf {
-                continue;
-            }
-            debug_assert_eq!(
-                sk.lambda[tf as usize] as usize, k,
-                "lower-side root keeps bin λ"
+        if parallel && bin.len() >= min_parallel_work.max(1) {
+            // Read-only hint pass: pre-resolve both tops concurrently.
+            hints.clear();
+            hints.resize(bin.len(), (0, 0));
+            let ranges = balanced_ranges(&vec![1usize; bin.len()], threads);
+            let forest = &sk.forest;
+            let bin_ref = &bin[..];
+            fill_ranges_scoped(
+                &mut hints,
+                ranges,
+                |range| range.len(),
+                |range, chunk| {
+                    for (slot, &(s, t)) in chunk.iter_mut().zip(&bin_ref[range]) {
+                        *slot = (forest.peek_r(s), forest.peek_r(t));
+                    }
+                },
             );
-            if sk.lambda[sf as usize] > sk.lambda[tf as usize] {
-                sk.forest.attach(sf, tf);
-            } else {
-                debug_assert_eq!(sk.lambda[sf as usize], sk.lambda[tf as usize]);
-                merge.push((sf, tf));
+            for (&(s, t), &(hs, ht)) in bin.iter().zip(&hints) {
+                let sf = sk.forest.find_r(hs);
+                let tf = sk.forest.find_r(ht);
+                // find_r walked only from the hint; shortcut the full
+                // endpoints so later peeks stay near-O(1).
+                sk.forest.compress_to(s, sf);
+                sk.forest.compress_to(t, tf);
+                drain_pair(sk, &mut merge, k, sf, tf);
+            }
+        } else {
+            for (s, t) in bin {
+                let sf = sk.forest.find_r(s);
+                let tf = sk.forest.find_r(t);
+                drain_pair(sk, &mut merge, k, sf, tf);
             }
         }
         for &(a, b) in &merge {

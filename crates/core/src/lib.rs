@@ -73,7 +73,8 @@ pub use session::{Nucleus, NucleusBuilder, Prepared};
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::algo::fnd::{
-        fnd, fnd_parallel, fnd_parallel_with, fnd_with_options, FndOptions,
+        build_hierarchy, fnd, fnd_classify, fnd_parallel, fnd_parallel_with, fnd_with_options,
+        FndClassified, FndOptions,
     };
     pub use crate::algo::lcps::lcps;
     pub use crate::algo::tcp::{tcp_query, TcpIndex};

@@ -111,6 +111,10 @@ pub struct Plan {
     pub backend_reason: String,
     /// Why the engine came out as it did.
     pub engine_reason: String,
+    /// How the prepare phase ran (or will run) its cell enumeration —
+    /// e.g. `"parallel (t=4)"`, `"serial"`, or
+    /// `"skipped (persisted index)"`.
+    pub enumeration: String,
 }
 
 impl Plan {
@@ -119,6 +123,7 @@ impl Plan {
     pub fn explain(&self) -> String {
         format!(
             "plan: {} {} via {}\n  backend: {} — {}\n  engine:  {} — {}\n  threads: {}\n  \
+             enumeration: {}\n  \
              space:   {} cells, {} containers, estimated index {}",
             self.kind.name(),
             self.kind,
@@ -128,6 +133,7 @@ impl Plan {
             self.engine,
             self.engine_reason,
             self.threads,
+            self.enumeration,
             self.cells,
             self.containers,
             format_bytes(self.index_bytes),

@@ -83,12 +83,27 @@ enum AnySpace<'g> {
 impl<'g> AnySpace<'g> {
     fn build(g: &'g CsrGraph, kind: Kind, threads: usize) -> Self {
         match kind {
-            Kind::Core => AnySpace::Vertex(VertexSpace::new(g)),
-            Kind::VertexTriangle => AnySpace::VertexTriangle(VertexTriangleSpace::new(g)),
-            Kind::Truss => AnySpace::Edge(EdgeSpace::new(g)),
-            Kind::EdgeK4 => AnySpace::EdgeK4(EdgeK4Space::new(g)),
+            Kind::Core => AnySpace::Vertex(VertexSpace::with_threads(g, threads)),
+            Kind::VertexTriangle => {
+                AnySpace::VertexTriangle(VertexTriangleSpace::with_threads(g, threads))
+            }
+            Kind::Truss => AnySpace::Edge(EdgeSpace::with_threads(g, threads)),
+            Kind::EdgeK4 => AnySpace::EdgeK4(EdgeK4Space::with_threads(g, threads)),
             Kind::Nucleus34 => AnySpace::Triangle(TriangleSpace::with_threads(g, threads)),
         }
+    }
+}
+
+/// How a session's prepare phase runs its cell enumeration — the string
+/// [`Plan::explain`] reports on the `enumeration:` line.
+fn enumeration_mode(kind: Kind, threads: usize) -> String {
+    if kind == Kind::Core {
+        // ω here is a plain degree read; there is no enumeration pass
+        "serial (degree read, nothing to enumerate)".to_string()
+    } else if threads > 1 {
+        format!("parallel (t={threads})")
+    } else {
+        "serial".to_string()
     }
 }
 
@@ -227,6 +242,7 @@ impl<'g> NucleusBuilder<'g> {
             cells,
             facts,
             backend_reason,
+            enumeration: enumeration_mode(kind, threads),
             prep_time: t0.elapsed(),
         })
     }
@@ -304,6 +320,7 @@ impl<'g> NucleusBuilder<'g> {
             cells,
             facts,
             backend_reason,
+            enumeration: "skipped (persisted index)".to_string(),
             prep_time: t0.elapsed(),
         })
     }
@@ -362,6 +379,8 @@ pub struct Prepared<'g> {
     /// deferred to first use on explicit-lazy ones.
     facts: OnceLock<(u64, usize)>,
     backend_reason: String,
+    /// How prepare ran its cell enumeration (see `enumeration_mode`).
+    enumeration: String,
     prep_time: Duration,
 }
 
@@ -483,6 +502,7 @@ impl<'g> Prepared<'g> {
             index_bytes: self.estimated_index_bytes(),
             backend_reason: self.backend_reason.clone(),
             engine_reason,
+            enumeration: self.enumeration.clone(),
         })
     }
 
@@ -763,6 +783,8 @@ mod tests {
         assert!(text.contains("materialized"), "{text}");
         assert!(text.contains("frontier"), "{text}");
         assert!(text.contains("auto"), "{text}");
+        // prepared with 4 threads → the enumeration ran parallel
+        assert!(text.contains("enumeration: parallel (t=4)"), "{text}");
         // FND on the same session rides the frontier engine too, and
         // the reason names the hybrid-round policy it runs under
         let plan = prepared.plan(Algorithm::Fnd).unwrap();

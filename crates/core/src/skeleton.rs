@@ -13,7 +13,7 @@ use crate::hierarchy::{RawHierarchy, NO_NODE};
 
 /// Growable skeleton: one entry per sub-nucleus, plus the per-cell
 /// `comp` assignment.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Skeleton {
     /// λ of each sub-nucleus.
     pub lambda: Vec<u32>,

@@ -3,6 +3,7 @@
 
 use std::sync::OnceLock;
 
+use nucleus_cliques::parallel::edge_supports_parallel;
 use nucleus_cliques::triangles::edge_supports;
 use nucleus_graph::CsrGraph;
 
@@ -15,6 +16,7 @@ use super::{PeelBackend, PeelSpace};
 pub struct EdgeSpace<'g> {
     g: &'g CsrGraph,
     supports: OnceLock<Vec<u32>>,
+    threads: usize,
 }
 
 impl<'g> EdgeSpace<'g> {
@@ -23,9 +25,17 @@ impl<'g> EdgeSpace<'g> {
     /// to the first [`PeelBackend::degrees`] call, so sessions whose ω
     /// counts come from a persisted index never pay for it.
     pub fn new(g: &'g CsrGraph) -> Self {
+        Self::with_threads(g, 1)
+    }
+
+    /// Like [`EdgeSpace::new`], but the deferred support enumeration
+    /// runs on `threads` worker threads (per-worker partial counts
+    /// summed in order — identical output to the serial pass).
+    pub fn with_threads(g: &'g CsrGraph, threads: usize) -> Self {
         EdgeSpace {
             g,
             supports: OnceLock::new(),
+            threads,
         }
     }
 
@@ -41,7 +51,15 @@ impl PeelBackend for EdgeSpace<'_> {
     }
 
     fn degrees(&self) -> Vec<u32> {
-        self.supports.get_or_init(|| edge_supports(self.g)).clone()
+        self.supports
+            .get_or_init(|| {
+                if self.threads <= 1 {
+                    edge_supports(self.g)
+                } else {
+                    edge_supports_parallel(self.g, self.threads)
+                }
+            })
+            .clone()
     }
 
     #[inline]

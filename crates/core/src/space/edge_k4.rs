@@ -7,7 +7,7 @@
 
 use std::sync::OnceLock;
 
-use nucleus_cliques::{TriangleIndex, TriangleList};
+use nucleus_cliques::{k4_edge_degrees, k4_edge_degrees_parallel, TriangleIndex, TriangleList};
 use nucleus_graph::CsrGraph;
 
 use super::{PeelBackend, PeelSpace};
@@ -21,6 +21,7 @@ pub struct EdgeK4Space<'g> {
     g: &'g CsrGraph,
     index: OnceLock<TriangleIndex>,
     degrees: OnceLock<Vec<u32>>,
+    threads: usize,
 }
 
 impl<'g> EdgeK4Space<'g> {
@@ -28,10 +29,18 @@ impl<'g> EdgeK4Space<'g> {
     /// enumeration) and the per-edge K4 counts are built on first use,
     /// so sessions driven by a persisted index skip them entirely.
     pub fn new(g: &'g CsrGraph) -> Self {
+        Self::with_threads(g, 1)
+    }
+
+    /// Like [`EdgeK4Space::new`], but the deferred triangle-list +
+    /// index builds and the per-edge K4 count run on `threads` worker
+    /// threads (all bit-identical to their serial twins).
+    pub fn with_threads(g: &'g CsrGraph, threads: usize) -> Self {
         EdgeK4Space {
             g,
             index: OnceLock::new(),
             degrees: OnceLock::new(),
+            threads,
         }
     }
 
@@ -42,8 +51,8 @@ impl<'g> EdgeK4Space<'g> {
 
     fn index(&self) -> &TriangleIndex {
         self.index.get_or_init(|| {
-            let tris = TriangleList::build(self.g);
-            TriangleIndex::build(self.g, &tris)
+            let tris = TriangleList::build_with_threads(self.g, self.threads);
+            TriangleIndex::build_with_threads(self.g, &tris, self.threads)
         })
     }
 }
@@ -76,14 +85,14 @@ impl PeelBackend for EdgeK4Space<'_> {
     fn degrees(&self) -> Vec<u32> {
         self.degrees
             .get_or_init(|| {
+                // counts exactly what `for_each_k4_of_edge` enumerates:
+                // adjacent pairs in each edge's third-vertex list
                 let index = self.index();
-                let mut degrees = vec![0u32; self.g.m()];
-                for e in 0..self.g.m() as u32 {
-                    let mut count = 0u32;
-                    for_each_k4_of_edge(self.g, index, e, |_| count += 1);
-                    degrees[e as usize] = count;
+                if self.threads <= 1 {
+                    k4_edge_degrees(self.g, index)
+                } else {
+                    k4_edge_degrees_parallel(self.g, index, self.threads)
                 }
-                degrees
             })
             .clone()
     }
@@ -153,6 +162,23 @@ mod tests {
             all.push(e);
             all.sort_unstable();
             assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn degrees_count_containers_at_any_thread_count() {
+        for g in [complete(6), nucleus_gen::paper::fig1_nucleus_contrast()] {
+            let serial = EdgeK4Space::new(&g).degrees();
+            // ω₄(e) must equal the number of containers enumerated for e
+            let s = EdgeK4Space::new(&g);
+            for e in 0..g.m() as u32 {
+                let mut c = 0u32;
+                s.for_each_container(e, |_| c += 1);
+                assert_eq!(c, serial[e as usize], "edge {e}");
+            }
+            for threads in [2, 4, 7] {
+                assert_eq!(EdgeK4Space::with_threads(&g, threads).degrees(), serial);
+            }
         }
     }
 

@@ -34,14 +34,17 @@ impl<'g> TriangleSpace<'g> {
         Self::with_threads(g, 1)
     }
 
-    /// Builds the space like [`TriangleSpace::new`], but counts K4
-    /// degrees (when first needed) with `threads` worker threads (the
-    /// same knob as [`nucleus_cliques::parallel::triangle_count_parallel`])
-    /// — the ω computation dominates space construction on dense graphs.
+    /// Builds the space like [`TriangleSpace::new`], but runs **every**
+    /// construction pass — the eager triangle enumeration, the lazy
+    /// per-edge index, and the lazy K4 degrees — with `threads` worker
+    /// threads (the same knob as
+    /// [`nucleus_cliques::parallel::triangle_count_parallel`]). All
+    /// three parallel builders are bit-identical to their serial twins,
+    /// so the space's observable state never depends on `threads`.
     pub fn with_threads(g: &'g CsrGraph, threads: usize) -> Self {
         TriangleSpace {
             g,
-            tris: TriangleList::build(g),
+            tris: TriangleList::build_with_threads(g, threads),
             index: OnceLock::new(),
             k4deg: OnceLock::new(),
             threads,
@@ -50,7 +53,7 @@ impl<'g> TriangleSpace<'g> {
 
     fn index(&self) -> &TriangleIndex {
         self.index
-            .get_or_init(|| TriangleIndex::build(self.g, &self.tris))
+            .get_or_init(|| TriangleIndex::build_with_threads(self.g, &self.tris, self.threads))
     }
 
     fn k4deg(&self) -> &[u32] {

@@ -15,6 +15,14 @@ impl<'g> VertexSpace<'g> {
         VertexSpace { g }
     }
 
+    /// Accepts (and ignores) a thread count, for constructor symmetry
+    /// with the other spaces: ω here is a vertex's degree, a single
+    /// O(n) read of the CSR offsets with no enumeration to parallelize
+    /// — spawning workers could only ever slow it down.
+    pub fn with_threads(g: &'g CsrGraph, _threads: usize) -> Self {
+        Self::new(g)
+    }
+
     /// The underlying graph.
     pub fn graph(&self) -> &CsrGraph {
         self.g

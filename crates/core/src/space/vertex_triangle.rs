@@ -17,6 +17,7 @@ use super::{PeelBackend, PeelSpace};
 pub struct VertexTriangleSpace<'g> {
     g: &'g CsrGraph,
     degrees: OnceLock<Vec<u32>>,
+    threads: usize,
 }
 
 impl<'g> VertexTriangleSpace<'g> {
@@ -24,9 +25,17 @@ impl<'g> VertexTriangleSpace<'g> {
     /// first [`PeelBackend::degrees`] call (never, for sessions fed
     /// counts by a persisted index).
     pub fn new(g: &'g CsrGraph) -> Self {
+        Self::with_threads(g, 1)
+    }
+
+    /// Like [`VertexTriangleSpace::new`], but the deferred triangle
+    /// enumeration runs on `threads` worker threads (per-worker partial
+    /// counts summed in order — identical output to the serial pass).
+    pub fn with_threads(g: &'g CsrGraph, threads: usize) -> Self {
         VertexTriangleSpace {
             g,
             degrees: OnceLock::new(),
+            threads,
         }
     }
 
@@ -44,13 +53,11 @@ impl PeelBackend for VertexTriangleSpace<'_> {
     fn degrees(&self) -> Vec<u32> {
         self.degrees
             .get_or_init(|| {
-                let mut degrees = vec![0u32; self.g.n()];
-                nucleus_cliques::triangles::for_each_triangle(self.g, |a, b, c, _, _, _| {
-                    degrees[a as usize] += 1;
-                    degrees[b as usize] += 1;
-                    degrees[c as usize] += 1;
-                });
-                degrees
+                if self.threads <= 1 {
+                    nucleus_cliques::vertex_triangle_counts(self.g)
+                } else {
+                    nucleus_cliques::vertex_triangle_counts_parallel(self.g, self.threads)
+                }
             })
             .clone()
     }

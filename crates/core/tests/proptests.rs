@@ -22,6 +22,90 @@ use nucleus_core::space::{
 use nucleus_core::validate::check_semantics;
 use nucleus_graph::CsrGraph;
 
+/// Pins every parallel prepare-phase builder to its serial twin,
+/// bit-for-bit, at 1, 2 and 8 worker threads:
+///
+/// * triangle enumeration ([`TriangleList::build_with_threads`]) and the
+///   edge→thirds index ([`TriangleIndex::build_with_threads`]) — the
+///   shared substrate of the (1,3), (2,3), (2,4) and (3,4) spaces;
+/// * the per-family ω-degree kernels (edge supports, per-vertex triangle
+///   counts, per-edge K4 degrees) that feed the peeling engines;
+/// * the whole prepared pipeline: `prepare` → FND at every thread count
+///   must produce identical λ and an identical hierarchy for all five
+///   kinds (the frontier engine is pinned so the peel itself is the
+///   thread-count-invariant one; `check_engine_equivalence` separately
+///   forces the parallel `build_hierarchy` path via
+///   `min_parallel_work: 0`).
+fn check_prepare_equivalence(g: &CsrGraph) {
+    use nucleus_cliques::triangles::edge_supports;
+    use nucleus_cliques::{
+        k4_edge_degrees, k4_edge_degrees_parallel, vertex_triangle_counts,
+        vertex_triangle_counts_parallel, TriangleIndex, TriangleList,
+    };
+    let tris = TriangleList::build(g);
+    let index = TriangleIndex::build(g, &tris);
+    let vtc = vertex_triangle_counts(g);
+    let k4d = k4_edge_degrees(g, &index);
+    let supports = edge_supports(g);
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            tris,
+            TriangleList::build_with_threads(g, threads),
+            "TriangleList at t={threads}"
+        );
+        assert_eq!(
+            index,
+            TriangleIndex::build_with_threads(g, &tris, threads),
+            "TriangleIndex at t={threads}"
+        );
+        if threads > 1 {
+            assert_eq!(
+                vtc,
+                vertex_triangle_counts_parallel(g, threads),
+                "vertex triangle counts at t={threads}"
+            );
+            assert_eq!(
+                k4d,
+                k4_edge_degrees_parallel(g, &index, threads),
+                "K4 edge degrees at t={threads}"
+            );
+            assert_eq!(
+                supports,
+                nucleus_cliques::parallel::edge_supports_parallel(g, threads),
+                "edge supports at t={threads}"
+            );
+        }
+    }
+    for kind in Kind::all() {
+        let options = DecomposeOptions {
+            engine: PeelEngine::Frontier,
+            threads: 1,
+            ..DecomposeOptions::default()
+        };
+        let base = Nucleus::builder(g)
+            .kind(kind)
+            .options(options)
+            .prepare()
+            .expect("prepare t=1");
+        let fnd_base = base.run(Algorithm::Fnd).expect("FND t=1");
+        for threads in [2usize, 8] {
+            let p = Nucleus::builder(g)
+                .kind(kind)
+                .options(DecomposeOptions { threads, ..options })
+                .prepare()
+                .unwrap_or_else(|e| panic!("prepare {kind} t={threads}: {e}"));
+            let out = p.run(Algorithm::Fnd).expect("FND");
+            let label = format!("{kind} t={threads}");
+            assert_eq!(fnd_base.peeling.lambda, out.peeling.lambda, "λ at {label}");
+            assert_eq!(
+                fnd_base.peeling.order, out.peeling.order,
+                "order at {label}"
+            );
+            assert_eq!(fnd_base.hierarchy, out.hierarchy, "hierarchy at {label}");
+        }
+    }
+}
+
 /// Random graph strategy: up to `n_max` vertices, arbitrary edge subset.
 fn graph_strategy(n_max: u32, m_max: usize) -> impl Strategy<Value = CsrGraph> {
     (2..=n_max).prop_flat_map(move |n| {
@@ -259,6 +343,18 @@ fn session_equivalence_on_er_and_ba_models() {
     }
 }
 
+/// Deterministic multi-model coverage for the prepare-phase
+/// equivalence: one Erdős–Rényi and one Barabási–Albert graph, dense
+/// enough that every builder has real triangles and K4s to enumerate.
+#[test]
+fn prepare_equivalence_on_er_and_ba_models() {
+    let er = nucleus_gen::er::gnp(80, 0.1, 7);
+    let ba = nucleus_gen::ba::barabasi_albert(100, 4, 7);
+    for g in [&er, &ba] {
+        check_prepare_equivalence(g);
+    }
+}
+
 /// Deterministic multi-model coverage for the engine equivalence: one
 /// Erdős–Rényi and one Barabási–Albert graph per space family (the
 /// proptests below cover the adversarial random cases).
@@ -301,6 +397,11 @@ proptest! {
     #[test]
     fn engine_equivalence_edge_k4(g in graph_strategy(10, 40)) {
         check_engine_equivalence(&EdgeK4Space::new(&g));
+    }
+
+    #[test]
+    fn prepare_equivalence(g in graph_strategy(14, 55)) {
+        check_prepare_equivalence(&g);
     }
 
     #[test]

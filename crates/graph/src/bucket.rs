@@ -145,11 +145,7 @@ impl PeelBuckets {
         // Members keep `vert[pos[x]] == x` for their whole life, and
         // `vert` holds members only — so a non-member never matches.
         debug_assert!(
-            self.is_popped(x)
-                || self
-                    .vert
-                    .get(self.pos[x as usize])
-                    .is_none_or(|&v| v != x),
+            self.is_popped(x) || self.vert.get(self.pos[x as usize]).is_none_or(|&v| v != x),
             "mark_popped on a queued member {x}"
         );
         self.popped[x as usize / 64] |= 1 << (x % 64);
@@ -164,9 +160,7 @@ impl PeelBuckets {
     #[inline]
     pub fn clear_popped(&mut self, x: u32) {
         debug_assert!(
-            self.vert
-                .get(self.pos[x as usize])
-                .is_none_or(|&v| v != x),
+            self.vert.get(self.pos[x as usize]).is_none_or(|&v| v != x),
             "clear_popped on a queued member {x}"
         );
         self.popped[x as usize / 64] &= !(1u64 << (x % 64));
