@@ -11,7 +11,12 @@
 //!   optionally export it as JSON; `--index` skips preparation by
 //!   loading a persisted index;
 //! * `stats` — basic structural statistics of a graph;
-//! * `query` — k-truss-community membership of an edge via the TCP index.
+//! * `serve` — run the concurrent query service (`nucleus-serve`) over
+//!   a prepared space, speaking line-delimited JSON on a TCP port;
+//! * `query` — either the legacy k-truss-community lookup of an edge
+//!   via the TCP index (`--u/--v/--k`), or a one-shot protocol query
+//!   answered by the same engine the server uses (`--type ...`),
+//!   locally or against a running server (`--connect`).
 //!
 //! Argument parsing is hand-rolled (no external CLI dependency): flags
 //! are `--name value` pairs, collected into [`Args`].
@@ -22,6 +27,7 @@ use std::io::Write;
 use nucleus_core::algo::tcp::{tcp_query, TcpIndex};
 use nucleus_core::prelude::*;
 use nucleus_graph::{io, CsrGraph};
+use nucleus_serve::{serve, Client, Request, ServeConfig, ServeState};
 
 /// Parsed command line: subcommand + `--flag value` pairs.
 #[derive(Debug, Default)]
@@ -98,7 +104,16 @@ USAGE:
                     [--frontier-serial-below N] [--explain]
                     [--json FILE] [--dot FILE] [--depth N]
   nucleus stats     --input FILE
-  nucleus query     --input FILE --u U --v V --k K
+  nucleus serve     --graph FILE [--index INDEX | --kind KIND]
+                    [--port P] [--workers N] [--algo A]
+                    [--timeout-ms MS] [--max-line-bytes B]
+                    [--signal-file FILE] [--addr-file FILE] [--threads N]
+  nucleus query     --input FILE --u U --v V --k K        (k-truss edge lookup)
+  nucleus query     --type <lambda|nuclei-of|members|subtree|density|
+                            densest|level-profile|stats>
+                    [--cell C] [--node N] [--limit L] [--algo A] [--id I]
+                    ( --input FILE [--index INDEX | --kind KIND]
+                    | --connect HOST:PORT )
 
 generate flags: --n N --m M --p P --seed S --blocks B --block-size Z
 examples:
@@ -117,6 +132,11 @@ mid-level frontiers with fewer than N cells drain their λ-level
 serially, and a λ-level opening with under 1/8 of the remaining cells
 hands the whole residual to the serial bucket queue
 (default 64; 0 disables both fallbacks).
+
+`serve` speaks line-delimited JSON (one request object per line, one
+response per line); `--port 0` binds an ephemeral port, written to
+--addr-file for scripts. Stop it with a {\"query\":\"shutdown\"} request
+or by creating the --signal-file; request metrics are dumped on exit.
 ";
 
 /// Runs the CLI; returns the process exit code.
@@ -127,6 +147,7 @@ pub fn run<W: Write>(argv: Vec<String>, out: &mut W) -> Result<(), String> {
         "prepare" => cmd_prepare(&args, out),
         "decompose" => cmd_decompose(&args, out),
         "stats" => cmd_stats(&args, out),
+        "serve" => cmd_serve(&args, out),
         "query" => cmd_query(&args, out),
         "" | "help" | "--help" | "-h" => {
             let _ = write!(out, "{USAGE}");
@@ -312,7 +333,143 @@ fn cmd_stats<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the prepared session a `serve` / engine-`query` run answers
+/// from: `--index FILE` loads a persisted index (which must match the
+/// graph and any explicit `--kind`), otherwise `--kind` prepares from
+/// scratch with the materialized backend (the right default for a
+/// read-mostly serving workload).
+fn prepare_for_engine<'g>(g: &'g CsrGraph, args: &Args) -> Result<Prepared<'g>, String> {
+    let threads = args.num("threads", 0usize)?;
+    if let Some(index_path) = args.flags.get("index") {
+        let index = PreparedIndex::load(index_path).map_err(|e| e.to_string())?;
+        if let Some(spec) = args.flags.get("kind") {
+            let requested = parse_kind(spec)?;
+            if requested != index.kind() {
+                return Err(format!(
+                    "--kind {} conflicts with {index_path}, which stores a {} ({}) index",
+                    requested.name(),
+                    index.kind().name(),
+                    index.kind(),
+                ));
+            }
+        }
+        Nucleus::builder(g)
+            .threads(threads)
+            .prepare_from_index(index)
+            .map_err(|e| e.to_string())
+    } else {
+        let kind = parse_kind(args.need("kind")?)?;
+        Nucleus::builder(g)
+            .kind(kind)
+            .backend(Backend::Materialized)
+            .threads(threads)
+            .prepare()
+            .map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_serve<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args
+        .flags
+        .get("graph")
+        .or_else(|| args.flags.get("input"))
+        .ok_or_else(|| "missing required --graph".to_string())?;
+    let g = io::read_edge_list_file(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let prepared = prepare_for_engine(&g, args)?;
+    let kind = prepared.kind();
+    let default_algo = parse_algo(args.get_or("algo", "fnd"))?;
+    let state = ServeState::new(prepared).with_default_algo(default_algo);
+    let config = ServeConfig {
+        workers: args.num("workers", 4usize)?,
+        request_timeout: std::time::Duration::from_millis(args.num("timeout-ms", 10_000u64)?),
+        max_line_bytes: args.num("max-line-bytes", 1usize << 20)?,
+        queue_depth: args.num("queue-depth", 128usize)?,
+        signal_file: args.flags.get("signal-file").map(std::path::PathBuf::from),
+    };
+    let port: u16 = args.num("port", 0u16)?;
+    let bind = args.get_or("bind", "127.0.0.1");
+    let listener = std::net::TcpListener::bind((bind, port))
+        .map_err(|e| format!("cannot bind {bind}:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    if let Some(p) = args.flags.get("addr-file") {
+        std::fs::write(p, addr.to_string()).map_err(|e| format!("cannot write {p}: {e}"))?;
+    }
+    let _ = writeln!(
+        out,
+        "serving {} {} on {addr}: {} cells, {} workers, default algo {}",
+        kind.name(),
+        kind,
+        state.prepared().cells(),
+        config.workers.max(1),
+        default_algo.name(),
+    );
+    let _ = out.flush();
+    let report = serve(listener, &state, &config).map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "shutdown after {} connections", report.connections);
+    let _ = write!(out, "{}", report.metrics.render_text());
+    Ok(())
+}
+
+/// Assembles the request line an engine-mode `query` sends: either the
+/// raw `--request` JSON, or one built from `--type` plus the id flags.
+fn request_line(args: &Args) -> Result<String, String> {
+    if let Some(raw) = args.flags.get("request") {
+        return Ok(raw.clone());
+    }
+    let ty = args.need("type")?.replace('-', "_");
+    let mut fields = vec![format!(r#""query":"{ty}""#)];
+    for key in ["cell", "node", "limit", "id"] {
+        if let Some(v) = args.flags.get(key) {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("--{key}: bad number {v:?}"))?;
+            fields.push(format!(r#""{key}":{n}"#));
+        }
+    }
+    if let Some(a) = args.flags.get("algo") {
+        fields.push(format!(r#""algo":"{a}""#));
+    }
+    Ok(format!("{{{}}}", fields.join(",")))
+}
+
+/// One-shot protocol query: local (same engine as the server, no
+/// network) or remote (`--connect HOST:PORT`). Prints the response
+/// JSON line either way; scripts branch on its `ok` field.
+fn cmd_query_engine<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let line = request_line(args)?;
+    let response = if let Some(addr) = args.flags.get("connect") {
+        let mut client =
+            Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        client.roundtrip(&line).map_err(|e| e.to_string())?
+    } else {
+        let g = load_graph(args)?;
+        let prepared = prepare_for_engine(&g, args)?;
+        let mut state = ServeState::new(prepared);
+        if let Some(a) = args.flags.get("algo") {
+            state = state.with_default_algo(parse_algo(a)?);
+        }
+        match Request::parse(&line) {
+            Err(e) => nucleus_serve::err_response(None, &e),
+            Ok(req) => match state.answer(&req) {
+                Ok(v) => nucleus_serve::ok_response(req.id, req.query.name(), v),
+                Err(e) => nucleus_serve::err_response(req.id, &e),
+            },
+        }
+    };
+    let _ = writeln!(out, "{response}");
+    Ok(())
+}
+
 fn cmd_query<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    // Engine mode: `--type`/`--request` (local or `--connect`) speak
+    // the serve protocol; the flag-pair form below stays the legacy
+    // k-truss edge lookup.
+    if args.flags.contains_key("type")
+        || args.flags.contains_key("request")
+        || args.flags.contains_key("connect")
+    {
+        return cmd_query_engine(args, out);
+    }
     let g = load_graph(args)?;
     let u: u32 = args.num("u", 0u32)?;
     let v: u32 = args.num("v", 0u32)?;
@@ -641,6 +798,117 @@ mod tests {
         .unwrap();
         assert!(out.contains("community"), "got: {out}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_engine_one_shot_answers_protocol_queries() {
+        let path = tmp("engine-query.txt");
+        run_to_string(&[
+            "generate", "--model", "cliques", "--count", "4", "--out", &path,
+        ])
+        .unwrap();
+        let out = run_to_string(&[
+            "query", "--input", &path, "--kind", "truss", "--type", "lambda", "--cell", "0",
+            "--id", "7",
+        ])
+        .unwrap();
+        assert!(
+            out.starts_with(r#"{"ok":true,"id":7,"query":"lambda""#),
+            "got: {out}"
+        );
+        let out = run_to_string(&[
+            "query", "--input", &path, "--kind", "truss", "--type", "densest",
+        ])
+        .unwrap();
+        assert!(out.contains(r#""density":"#), "got: {out}");
+        let out = run_to_string(&[
+            "query", "--input", &path, "--kind", "truss", "--type", "stats",
+        ])
+        .unwrap();
+        assert!(out.contains(r#""kind":"truss""#), "got: {out}");
+        // `-` spellings work, and protocol errors stay typed JSON, not
+        // process failures
+        let out = run_to_string(&[
+            "query",
+            "--input",
+            &path,
+            "--kind",
+            "truss",
+            "--type",
+            "level-profile",
+        ])
+        .unwrap();
+        assert!(out.contains(r#""query":"level_profile""#), "got: {out}");
+        let out = run_to_string(&[
+            "query", "--input", &path, "--kind", "truss", "--type", "lambda", "--cell", "9999999",
+        ])
+        .unwrap();
+        assert!(out.contains(r#""code":"bad_request""#), "got: {out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_round_trip_through_the_cli_surface() {
+        let path = tmp("serve-src.txt");
+        run_to_string(&[
+            "generate", "--model", "cliques", "--count", "4", "--out", &path,
+        ])
+        .unwrap();
+        let addr_file = tmp("serve-addr.txt");
+        std::fs::remove_file(&addr_file).ok();
+        let server = {
+            let argv: Vec<String> = [
+                "serve",
+                "--graph",
+                &path,
+                "--kind",
+                "truss",
+                "--port",
+                "0",
+                "--workers",
+                "2",
+                "--addr-file",
+                &addr_file,
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                run(argv, &mut buf).unwrap();
+                String::from_utf8(buf).unwrap()
+            })
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(a) = std::fs::read_to_string(&addr_file) {
+                if !a.is_empty() {
+                    break a;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never wrote {addr_file}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let q = run_to_string(&["query", "--connect", &addr, "--type", "level-profile"]).unwrap();
+        assert!(q.starts_with(r#"{"ok":true"#), "got: {q}");
+        let q = run_to_string(&[
+            "query",
+            "--connect",
+            &addr,
+            "--request",
+            r#"{"query":"shutdown"}"#,
+        ])
+        .unwrap();
+        assert!(q.contains("stopping"), "got: {q}");
+        let served = server.join().unwrap();
+        assert!(served.contains("serving truss"), "got: {served}");
+        assert!(served.contains("requests 2"), "got: {served}");
+        assert!(served.contains("level_profile: 1"), "got: {served}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&addr_file).ok();
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   equal decompositions structurally identical (`==`) regardless of
 //!   which algorithm produced them.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 /// Sentinel for "no node" (the root's parent).
@@ -35,7 +37,7 @@ pub struct HierarchyNode {
 }
 
 /// Canonical hierarchy of all k-(r,s) nuclei of a graph.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Hierarchy {
     /// r of the decomposition.
     pub r: u32,
@@ -47,6 +49,41 @@ pub struct Hierarchy {
     /// λ per cell (copied from the peeling).
     lambda: Vec<u32>,
     max_lambda: u32,
+    /// Lazily-built point-lookup index (see [`HierarchyIndex`]): built
+    /// at most once, on the first [`Hierarchy::nucleus_cells`] /
+    /// [`Hierarchy::nuclei_at`] style query, then shared by every later
+    /// call — including concurrent callers, which is what makes the
+    /// read path of a served hierarchy lock-free after warm-up.
+    index: OnceLock<HierarchyIndex>,
+}
+
+/// Memoized constant-time lookup structures over a finished hierarchy.
+///
+/// Before this index existed, [`Hierarchy::nucleus_cells`] re-walked
+/// the subtree (allocating a stack) per call and
+/// [`Hierarchy::nuclei_at`] re-scanned *every* node per call — fine for
+/// one-shot reports, pathological for a query service answering
+/// millions of point lookups. The index is built once, lazily, behind a
+/// [`OnceLock`] (the same pattern the peeling spaces use for their lazy
+/// ω counts) and turns both into slice lookups:
+///
+/// * `subtree_cells[subtree_start[id] ..]` — all member cells of node
+///   `id`, laid out so every subtree is one contiguous run. The order
+///   reproduces the historical stack-walk order exactly (node delta
+///   first, then child subtrees in descending child order), so callers
+///   observe bit-identical output, just without the walk.
+/// * `level_nodes[level_start[k] .. level_start[k+1]]` — the k-(r,s)
+///   nuclei for each `k`, ascending node id, same as the old full scan.
+#[derive(Clone, Debug)]
+struct HierarchyIndex {
+    /// Per node: offset of its subtree's cell run in `subtree_cells`.
+    subtree_start: Vec<u32>,
+    /// All cells, concatenated in pre-order (children descending).
+    subtree_cells: Vec<u32>,
+    /// CSR offsets into `level_nodes`, indexed by k (len max_λ + 2).
+    level_start: Vec<usize>,
+    /// Concatenated `nuclei_at(k)` answers for k = 0..=max_λ.
+    level_nodes: Vec<u32>,
 }
 
 impl Hierarchy {
@@ -99,30 +136,94 @@ impl Hierarchy {
         self.cell_node[cell as usize]
     }
 
+    /// The memoized lookup index, built on first use. Interior state is
+    /// immutable after canonicalization, so the build is race-free and
+    /// every later call — from any thread — is a plain read.
+    fn index(&self) -> &HierarchyIndex {
+        self.index.get_or_init(|| {
+            // Subtree CSR: one stack walk from the root. Children are
+            // pushed ascending and popped descending, and a popped
+            // node's children land *above* its unvisited siblings, so
+            // this is a genuine pre-order DFS: every subtree's cells
+            // come out contiguous, and the run for any node reproduces
+            // the historical per-call stack order byte for byte.
+            let mut subtree_start = vec![0u32; self.nodes.len()];
+            let mut subtree_cells = Vec::with_capacity(self.lambda.len());
+            let mut stack = vec![Self::ROOT];
+            while let Some(x) = stack.pop() {
+                let node = &self.nodes[x as usize];
+                subtree_start[x as usize] = subtree_cells.len() as u32;
+                subtree_cells.extend_from_slice(&node.cells);
+                stack.extend_from_slice(&node.children);
+            }
+            debug_assert_eq!(subtree_cells.len(), self.lambda.len());
+            // Level CSR: counting sort over the k-spans (parent.λ, λ]
+            // of every non-root node, filled in ascending node id so
+            // each per-k list matches the old full-scan order.
+            let levels = self.max_lambda as usize + 1;
+            let mut level_start = vec![0usize; levels + 1];
+            for node in self.nodes.iter().skip(1) {
+                let lo = self.nodes[node.parent as usize].lambda as usize + 1;
+                for k in lo..=node.lambda as usize {
+                    level_start[k + 1] += 1;
+                }
+            }
+            for k in 0..levels {
+                level_start[k + 1] += level_start[k];
+            }
+            let mut fill = level_start.clone();
+            let mut level_nodes = vec![0u32; level_start[levels]];
+            for (id, node) in self.nodes.iter().enumerate().skip(1) {
+                let lo = self.nodes[node.parent as usize].lambda as usize + 1;
+                for k in lo..=node.lambda as usize {
+                    level_nodes[fill[k]] = id as u32;
+                    fill[k] += 1;
+                }
+            }
+            HierarchyIndex {
+                subtree_start,
+                subtree_cells,
+                level_start,
+                level_nodes,
+            }
+        })
+    }
+
     /// All member cells of the nucleus rooted at `id` (its subtree).
+    ///
+    /// Served from the memoized index: the first call over a hierarchy
+    /// builds it (O(cells)), every later call is a slice copy.
     pub fn nucleus_cells(&self, id: u32) -> Vec<u32> {
-        let mut out = Vec::with_capacity(self.nodes[id as usize].subtree_cells as usize);
-        let mut stack = vec![id];
-        while let Some(x) = stack.pop() {
-            let node = &self.nodes[x as usize];
-            out.extend_from_slice(&node.cells);
-            stack.extend_from_slice(&node.children);
-        }
-        out
+        self.nucleus_cells_slice(id).to_vec()
+    }
+
+    /// Borrowed, allocation-free view of [`Hierarchy::nucleus_cells`] —
+    /// the point-lookup primitive a query service serves from.
+    pub fn nucleus_cells_slice(&self, id: u32) -> &[u32] {
+        let idx = self.index();
+        let start = idx.subtree_start[id as usize] as usize;
+        &idx.subtree_cells[start..start + self.nodes[id as usize].subtree_cells as usize]
     }
 
     /// Ids of all k-(r,s) nuclei for a fixed `k`: nodes with λ ≥ k whose
     /// parent has λ < k. (A node with λ = 5 over a λ = 2 parent *is* the
     /// 3-, 4- and 5-nucleus of its cells — the sets coincide.)
+    ///
+    /// Served from the memoized index; see
+    /// [`Hierarchy::nuclei_at_slice`] for the allocation-free form.
     pub fn nuclei_at(&self, k: u32) -> Vec<u32> {
+        self.nuclei_at_slice(k).to_vec()
+    }
+
+    /// Borrowed form of [`Hierarchy::nuclei_at`] (empty for
+    /// `k > max_lambda`).
+    pub fn nuclei_at_slice(&self, k: u32) -> &[u32] {
         assert!(k >= 1, "k = 0 is the whole graph (the root)");
-        let mut out = vec![];
-        for (id, node) in self.nodes.iter().enumerate().skip(1) {
-            if node.lambda >= k && self.nodes[node.parent as usize].lambda < k {
-                out.push(id as u32);
-            }
+        if k > self.max_lambda {
+            return &[];
         }
-        out
+        let idx = self.index();
+        &idx.level_nodes[idx.level_start[k as usize]..idx.level_start[k as usize + 1]]
     }
 
     /// Leaf nuclei (no children): the locally densest subgraphs.
@@ -254,9 +355,18 @@ impl Hierarchy {
         if let Some(missing) = seen_cells.iter().position(|&s| !s) {
             return Err(format!("cell {missing} not assigned to any node"));
         }
-        // subtree counts
+        // subtree counts — via an explicit walk, NOT the memoized
+        // index: the index is built from these very fields, so checking
+        // against it would be vacuous (and a corrupt tree could make
+        // the build itself misbehave).
         for id in 0..n as u32 {
-            let expect = self.nucleus_cells(id).len() as u64;
+            let mut expect = 0u64;
+            let mut stack = vec![id];
+            while let Some(x) = stack.pop() {
+                let node = &self.nodes[x as usize];
+                expect += node.cells.len() as u64;
+                stack.extend_from_slice(&node.children);
+            }
             if self.nodes[id as usize].subtree_cells != expect {
                 return Err(format!("node {id}: subtree count mismatch"));
             }
@@ -268,7 +378,8 @@ impl Hierarchy {
 impl PartialEq for Hierarchy {
     /// Canonical equality: same (r, s), same λ per cell, and structurally
     /// identical node lists (canonical ordering makes this well-defined
-    /// across algorithms).
+    /// across algorithms). The memoized index is derived state and never
+    /// participates.
     fn eq(&self, other: &Self) -> bool {
         self.r == other.r
             && self.s == other.s
@@ -278,6 +389,37 @@ impl PartialEq for Hierarchy {
 }
 
 impl Eq for Hierarchy {}
+
+// Hand-written (not derived) so the lazy index stays out of the wire
+// format: the JSON shape — field names and order — is exactly what the
+// pre-index derive produced, so exported hierarchies are byte-stable
+// across the change.
+impl Serialize for Hierarchy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("r".to_string(), self.r.to_value()),
+            ("s".to_string(), self.s.to_value()),
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("cell_node".to_string(), self.cell_node.to_value()),
+            ("lambda".to_string(), self.lambda.to_value()),
+            ("max_lambda".to_string(), self.max_lambda.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Hierarchy {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Hierarchy {
+            r: Deserialize::from_value(v.field("r")?)?,
+            s: Deserialize::from_value(v.field("s")?)?,
+            nodes: Deserialize::from_value(v.field("nodes")?)?,
+            cell_node: Deserialize::from_value(v.field("cell_node")?)?,
+            lambda: Deserialize::from_value(v.field("lambda")?)?,
+            max_lambda: Deserialize::from_value(v.field("max_lambda")?)?,
+            index: OnceLock::new(),
+        })
+    }
+}
 
 /// Pre-canonical hierarchy: what algorithms hand over. Nodes may appear
 /// in any order with any id scheme; `parent == NO_NODE` means "child of
@@ -415,6 +557,7 @@ impl RawHierarchy {
             cell_node,
             lambda,
             max_lambda,
+            index: OnceLock::new(),
         }
     }
 }
@@ -547,5 +690,102 @@ mod tests {
         let json = serde_json::to_string(&h).unwrap();
         let back: Hierarchy = serde_json::from_str(&json).unwrap();
         assert_eq!(h, back);
+        // The manual impls keep the pre-index field layout: the lazy
+        // lookup index must never leak into the wire format, even after
+        // it has been built.
+        let _ = h.nucleus_cells(0);
+        assert_eq!(serde_json::to_string(&h).unwrap(), json);
+        for field in ["\"r\"", "\"s\"", "\"nodes\"", "\"cell_node\"", "\"lambda\""] {
+            assert!(json.contains(field), "{json}");
+        }
+        assert!(!json.contains("index"), "{json}");
+    }
+
+    /// The pre-index implementations, kept verbatim as oracles: the
+    /// memoized CSR lookups must reproduce their output — order
+    /// included — on every node and level.
+    fn walk_nucleus_cells(h: &Hierarchy, id: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(x) = stack.pop() {
+            let node = h.node(x);
+            out.extend_from_slice(&node.cells);
+            stack.extend_from_slice(&node.children);
+        }
+        out
+    }
+
+    fn scan_nuclei_at(h: &Hierarchy, k: u32) -> Vec<u32> {
+        let mut out = vec![];
+        for (id, node) in h.nodes().iter().enumerate().skip(1) {
+            if node.lambda >= k && h.node(node.parent).lambda < k {
+                out.push(id as u32);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn memoized_index_matches_the_walking_oracles() {
+        // A deeper, bushier tree than sample_raw: two branches under a
+        // λ=1 node, one of them nested twice, plus a second top-level
+        // nucleus and λ=0 strays.
+        let mut raw = RawHierarchy::default();
+        let a = raw.push(1, NO_NODE, vec![0, 1, 2]);
+        let b = raw.push(2, a, vec![3, 4]);
+        let _c = raw.push(4, b, vec![5]);
+        let _d = raw.push(3, b, vec![6, 7]);
+        let _e = raw.push(2, a, vec![8]);
+        let f = raw.push(1, NO_NODE, vec![9]);
+        let _g = raw.push(5, f, vec![10, 11]);
+        let lambda = vec![1, 1, 1, 2, 2, 4, 3, 3, 2, 1, 5, 5, 0, 0];
+        let h = raw.into_hierarchy(2, 3, lambda, 5);
+        h.validate().expect("valid");
+        for id in 0..h.len() as u32 {
+            assert_eq!(
+                h.nucleus_cells(id),
+                walk_nucleus_cells(&h, id),
+                "node {id}: memoized cells diverge from the walk"
+            );
+            assert_eq!(h.nucleus_cells_slice(id), &walk_nucleus_cells(&h, id)[..]);
+        }
+        for k in 1..=h.max_lambda() {
+            assert_eq!(h.nuclei_at(k), scan_nuclei_at(&h, k), "k={k}");
+            assert_eq!(h.nuclei_at_slice(k), &scan_nuclei_at(&h, k)[..], "k={k}");
+            assert_eq!(h.level_profile()[k as usize], h.nuclei_at_slice(k).len());
+        }
+        // Past the deepest level: empty, no panic.
+        assert!(h.nuclei_at_slice(h.max_lambda() + 1).is_empty());
+        assert!(h.nuclei_at(h.max_lambda() + 7).is_empty());
+    }
+
+    #[test]
+    fn memoized_index_handles_degenerate_hierarchies() {
+        // Root-only: every cell has λ = 0.
+        let h = RawHierarchy::default().into_hierarchy(1, 2, vec![0, 0, 0], 0);
+        assert_eq!(h.nucleus_cells(Hierarchy::ROOT), vec![0, 1, 2]);
+        assert!(h.nuclei_at_slice(1).is_empty());
+        // Zero cells entirely.
+        let h = RawHierarchy::default().into_hierarchy(1, 2, vec![], 0);
+        assert!(h.nucleus_cells(Hierarchy::ROOT).is_empty());
+        assert!(h.nucleus_cells_slice(Hierarchy::ROOT).is_empty());
+    }
+
+    #[test]
+    fn memoized_index_is_shared_across_threads() {
+        let (raw, lambda) = sample_raw();
+        let h = raw.into_hierarchy(1, 2, lambda, 3);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for id in 0..h.len() as u32 {
+                        assert_eq!(h.nucleus_cells(id), walk_nucleus_cells(&h, id));
+                    }
+                    for k in 1..=h.max_lambda() {
+                        assert_eq!(h.nuclei_at(k), scan_nuclei_at(&h, k));
+                    }
+                });
+            }
+        });
     }
 }

@@ -1,0 +1,154 @@
+//! A bounded multi-producer/multi-consumer task queue: the hand-off
+//! between the accept loop and the fixed worker pool.
+//!
+//! `std` has no bounded channel with multiple consumers, so this is the
+//! classic `Mutex<VecDeque>` + two `Condvar`s construction. Pushes
+//! block while the queue is full (back-pressure on `accept`), pops
+//! block while it is empty, and [`TaskQueue::close`] wakes everyone so
+//! workers drain the remaining items and exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded blocking MPMC queue.
+pub struct TaskQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> TaskQueue<T> {
+    /// A queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> TaskQueue<T> {
+        TaskQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues an item, blocking while the queue is full. Returns the
+    /// item back if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.items.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).unwrap();
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues an item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: pending pushes fail, pops drain what remains
+    /// then return `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of queued items right now (advisory).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty (advisory).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> std::fmt::Debug for TaskQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_through_many_threads() {
+        let q = TaskQueue::new(4);
+        let consumed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    while q.pop().is_some() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for i in 0..100 {
+                    q.push(i).unwrap();
+                }
+                q.close();
+            });
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = TaskQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_applies_backpressure_until_popped() {
+        let q = TaskQueue::new(1);
+        q.push(10).unwrap();
+        std::thread::scope(|scope| {
+            let t = scope.spawn(|| q.push(20));
+            // The push above blocks until this pop frees a slot.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(q.pop(), Some(10));
+            assert_eq!(t.join().unwrap(), Ok(()));
+        });
+        assert_eq!(q.pop(), Some(20));
+    }
+}
