@@ -11,8 +11,13 @@
 //!   optionally export it as JSON; `--index` skips preparation by
 //!   loading a persisted index;
 //! * `stats` — basic structural statistics of a graph;
+//! * `update` — apply a batched edge-mutation stream (`+ U V`/`- U V`
+//!   lines) to a graph with `nucleus-dynamic`, reporting what changed
+//!   and optionally verifying against a full recompute;
 //! * `serve` — run the concurrent query service (`nucleus-serve`) over
 //!   a prepared space, speaking line-delimited JSON on a TCP port;
+//!   `--mutable` serves a dynamic graph that accepts `mutate` requests
+//!   and swaps epochs;
 //! * `query` — either the legacy k-truss-community lookup of an edge
 //!   via the TCP index (`--u/--v/--k`), or a one-shot protocol query
 //!   answered by the same engine the server uses (`--type ...`),
@@ -26,8 +31,9 @@ use std::io::Write;
 
 use nucleus_core::algo::tcp::{tcp_query, TcpIndex};
 use nucleus_core::prelude::*;
+use nucleus_dynamic::{DynamicGraph, EdgeOp, UpdateReport};
 use nucleus_graph::{io, CsrGraph};
-use nucleus_serve::{serve, Client, Request, ServeConfig, ServeState};
+use nucleus_serve::{serve, Client, DynamicServeState, Request, ServeConfig, ServeState};
 
 /// Parsed command line: subcommand + `--flag value` pairs.
 #[derive(Debug, Default)]
@@ -40,7 +46,7 @@ pub struct Args {
 
 impl Args {
     /// Flags that take no value: their presence means `"true"`.
-    const BOOL_FLAGS: &'static [&'static str] = &["explain"];
+    const BOOL_FLAGS: &'static [&'static str] = &["explain", "mutable", "verify"];
 
     /// Parses from an argv-style iterator (without the program name).
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
@@ -104,8 +110,11 @@ USAGE:
                     [--frontier-serial-below N] [--explain]
                     [--json FILE] [--dot FILE] [--depth N]
   nucleus stats     --input FILE
+  nucleus update    --input FILE --ops OPS
+                    [--kind KIND] [--batch N] [--out FILE]
+                    [--json FILE] [--verify]
   nucleus serve     --graph FILE [--index INDEX | --kind KIND]
-                    [--port P] [--workers N] [--algo A]
+                    [--mutable] [--port P] [--workers N] [--algo A]
                     [--timeout-ms MS] [--max-line-bytes B]
                     [--signal-file FILE] [--addr-file FILE] [--threads N]
   nucleus query     --input FILE --u U --v V --k K        (k-truss edge lookup)
@@ -133,10 +142,20 @@ serially, and a λ-level opening with under 1/8 of the remaining cells
 hands the whole residual to the serial bucket queue
 (default 64; 0 disables both fallbacks).
 
+`update` reads OPS as one op per line (`+ U V`, `- U V`, `#` comments),
+applies it in `--batch`-sized batches (0 = one batch) with exact
+incremental maintenance for core/truss and scoped recompute for the
+higher kinds, and prints a JSON report; `--verify` cross-checks the
+maintained lambdas against a full recompute, `--out` writes the mutated
+edge list.
+
 `serve` speaks line-delimited JSON (one request object per line, one
 response per line); `--port 0` binds an ephemeral port, written to
 --addr-file for scripts. Stop it with a {\"query\":\"shutdown\"} request
 or by creating the --signal-file; request metrics are dumped on exit.
+With --mutable (requires --kind, not --index), `mutate` requests apply
+edge ops and atomically swap in a freshly prepared epoch; the epoch
+counter is surfaced in `stats`.
 ";
 
 /// Runs the CLI; returns the process exit code.
@@ -147,6 +166,7 @@ pub fn run<W: Write>(argv: Vec<String>, out: &mut W) -> Result<(), String> {
         "prepare" => cmd_prepare(&args, out),
         "decompose" => cmd_decompose(&args, out),
         "stats" => cmd_stats(&args, out),
+        "update" => cmd_update(&args, out),
         "serve" => cmd_serve(&args, out),
         "query" => cmd_query(&args, out),
         "" | "help" | "--help" | "-h" => {
@@ -368,17 +388,111 @@ fn prepare_for_engine<'g>(g: &'g CsrGraph, args: &Args) -> Result<Prepared<'g>, 
     }
 }
 
+/// Renders an [`UpdateReport`] (plus run context) as a JSON line.
+fn update_report_json(
+    report: &UpdateReport,
+    batches: usize,
+    update_ms: u128,
+    n: usize,
+    m: usize,
+    verified: Option<bool>,
+) -> String {
+    let verified = match verified {
+        None => "null".to_string(),
+        Some(ok) => ok.to_string(),
+    };
+    format!(
+        concat!(
+            r#"{{"applied":{},"skipped":{},"coalesced":{},"inserted":{},"deleted":{},"#,
+            r#""cells_changed":{},"scope_cells":{},"strategy":"{}","needs_reindex":{},"#,
+            r#""batches":{},"update_ms":{},"graph_n":{},"graph_m":{},"verified":{}}}"#
+        ),
+        report.applied,
+        report.skipped,
+        report.coalesced,
+        report.inserted,
+        report.deleted,
+        report.cells_changed,
+        report.scope_cells,
+        report.strategy.name(),
+        report.needs_reindex,
+        batches,
+        update_ms,
+        n,
+        m,
+        verified,
+    )
+}
+
+fn cmd_update<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let ops_path = args.need("ops")?;
+    let text =
+        std::fs::read_to_string(ops_path).map_err(|e| format!("cannot read {ops_path}: {e}"))?;
+    let ops = EdgeOp::parse_stream(&text).map_err(|e| format!("{ops_path}: {e}"))?;
+    let kind = parse_kind(args.get_or("kind", "core"))?;
+    let batch: usize = args.num("batch", 0usize)?;
+    let mut dg = DynamicGraph::new(&g, kind);
+    let t0 = std::time::Instant::now();
+    let mut total = UpdateReport::default();
+    let mut batches = 0usize;
+    for chunk in ops.chunks(if batch == 0 { ops.len().max(1) } else { batch }) {
+        total.absorb(&dg.apply(chunk));
+        batches += 1;
+    }
+    let update_ms = t0.elapsed().as_millis();
+    let verified = if args.flag("verify") {
+        let snapshot = dg.to_graph();
+        let maintained = dg.lambda_snapshot(&snapshot).expect("kinded graph has λ");
+        let fresh = DynamicGraph::new(&snapshot, kind);
+        let expect = fresh
+            .lambda_snapshot(&snapshot)
+            .expect("kinded graph has λ");
+        if maintained != expect {
+            return Err(format!(
+                "--verify FAILED: maintained λ diverges from a full recompute \
+                 ({} of {} cells differ)",
+                maintained
+                    .iter()
+                    .zip(&expect)
+                    .filter(|(a, b)| a != b)
+                    .count(),
+                expect.len(),
+            ));
+        }
+        Some(true)
+    } else {
+        None
+    };
+    if let Some(out_path) = args.flags.get("out") {
+        let file = std::fs::File::create(out_path)
+            .map_err(|e| format!("cannot create {out_path}: {e}"))?;
+        io::write_edge_list(&dg.to_graph(), file).map_err(|e| e.to_string())?;
+    }
+    let line = update_report_json(&total, batches, update_ms, dg.n(), dg.m(), verified);
+    if let Some(json_path) = args.flags.get("json") {
+        std::fs::write(json_path, format!("{line}\n"))
+            .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+    }
+    let _ = writeln!(out, "{line}");
+    Ok(())
+}
+
 fn cmd_serve<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let path = args
         .flags
         .get("graph")
         .or_else(|| args.flags.get("input"))
         .ok_or_else(|| "missing required --graph".to_string())?;
+    if args.flag("mutable") && args.flags.contains_key("index") {
+        return Err(
+            "--mutable conflicts with --index: a persisted index is pinned to one \
+             graph fingerprint; use --kind and let the server prepare each epoch"
+                .to_string(),
+        );
+    }
     let g = io::read_edge_list_file(path).map_err(|e| format!("cannot load {path}: {e}"))?;
-    let prepared = prepare_for_engine(&g, args)?;
-    let kind = prepared.kind();
     let default_algo = parse_algo(args.get_or("algo", "fnd"))?;
-    let state = ServeState::new(prepared).with_default_algo(default_algo);
     let config = ServeConfig {
         workers: args.num("workers", 4usize)?,
         request_timeout: std::time::Duration::from_millis(args.num("timeout-ms", 10_000u64)?),
@@ -394,17 +508,37 @@ fn cmd_serve<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     if let Some(p) = args.flags.get("addr-file") {
         std::fs::write(p, addr.to_string()).map_err(|e| format!("cannot write {p}: {e}"))?;
     }
-    let _ = writeln!(
-        out,
-        "serving {} {} on {addr}: {} cells, {} workers, default algo {}",
-        kind.name(),
-        kind,
-        state.prepared().cells(),
-        config.workers.max(1),
-        default_algo.name(),
-    );
-    let _ = out.flush();
-    let report = serve(listener, &state, &config).map_err(|e| e.to_string())?;
+    let report = if args.flag("mutable") {
+        let kind = parse_kind(args.need("kind")?)?;
+        let state = DynamicServeState::new(&g, kind)
+            .map_err(|e| e.to_string())?
+            .with_default_algo(default_algo);
+        let _ = writeln!(
+            out,
+            "serving {} {} on {addr} (mutable, epoch 0): {} workers, default algo {}",
+            kind.name(),
+            kind,
+            config.workers.max(1),
+            default_algo.name(),
+        );
+        let _ = out.flush();
+        serve(listener, &state, &config).map_err(|e| e.to_string())?
+    } else {
+        let prepared = prepare_for_engine(&g, args)?;
+        let kind = prepared.kind();
+        let state = ServeState::new(prepared).with_default_algo(default_algo);
+        let _ = writeln!(
+            out,
+            "serving {} {} on {addr}: {} cells, {} workers, default algo {}",
+            kind.name(),
+            kind,
+            state.prepared().cells(),
+            config.workers.max(1),
+            default_algo.name(),
+        );
+        let _ = out.flush();
+        serve(listener, &state, &config).map_err(|e| e.to_string())?
+    };
     let _ = writeln!(out, "shutdown after {} connections", report.connections);
     let _ = write!(out, "{}", report.metrics.render_text());
     Ok(())
@@ -909,6 +1043,145 @@ mod tests {
         assert!(served.contains("level_profile: 1"), "got: {served}");
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&addr_file).ok();
+    }
+
+    #[test]
+    fn update_applies_an_ops_stream_and_verifies() {
+        let path = tmp("update-src.txt");
+        run_to_string(&["generate", "--model", "karate", "--out", &path]).unwrap();
+        let ops = tmp("update-ops.txt");
+        // The edge-list reader relabels vertices by first appearance, so
+        // ops are chosen against the round-tripped graph: vertex 0's
+        // neighbors there are exactly 1..=16.
+        std::fs::write(
+            &ops,
+            "# churn\n+ 0 33\n- 0 1\n+ 0 33\n- 0 2\n+ 0 30\n- 0 30\n",
+        )
+        .unwrap();
+        let json = tmp("update-report.json");
+        for (kind, strategy) in [
+            ("core", "incremental"),
+            ("truss", "incremental"),
+            ("1,3", "scoped_recompute"),
+        ] {
+            let out = run_to_string(&[
+                "update", "--input", &path, "--ops", &ops, "--kind", kind, "--batch", "2",
+                "--verify", "--json", &json,
+            ])
+            .unwrap();
+            assert!(out.contains(r#""applied":3"#), "{kind}: {out}");
+            assert!(out.contains(r#""skipped":1"#), "{kind}: {out}");
+            assert!(out.contains(r#""coalesced":2"#), "{kind}: {out}");
+            assert!(
+                out.contains(&format!(r#""strategy":"{strategy}""#)),
+                "{kind}: {out}"
+            );
+            assert!(out.contains(r#""needs_reindex":true"#), "{kind}: {out}");
+            assert!(out.contains(r#""verified":true"#), "{kind}: {out}");
+            assert_eq!(std::fs::read_to_string(&json).unwrap(), out);
+        }
+        // A pure no-op stream: nothing applied, no reindex needed.
+        std::fs::write(&ops, "+ 0 1\n").unwrap();
+        let out = run_to_string(&["update", "--input", &path, "--ops", &ops]).unwrap();
+        assert!(out.contains(r#""applied":0"#), "{out}");
+        assert!(out.contains(r#""needs_reindex":false"#), "{out}");
+        // --out round-trips the mutated edge list.
+        std::fs::write(&ops, "- 0 1\n").unwrap();
+        let mutated = tmp("update-mutated.txt");
+        run_to_string(&["update", "--input", &path, "--ops", &ops, "--out", &mutated]).unwrap();
+        let g2 = io::read_edge_list_file(&mutated).unwrap();
+        assert_eq!(g2.m(), nucleus_gen::karate::karate_club().m() - 1);
+        for f in [&path, &ops, &json, &mutated] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn mutable_serve_round_trip_through_the_cli_surface() {
+        let path = tmp("mserve-src.txt");
+        run_to_string(&["generate", "--model", "karate", "--out", &path]).unwrap();
+        let addr_file = tmp("mserve-addr.txt");
+        std::fs::remove_file(&addr_file).ok();
+        let server = {
+            let argv: Vec<String> = [
+                "serve",
+                "--graph",
+                &path,
+                "--kind",
+                "truss",
+                "--mutable",
+                "--port",
+                "0",
+                "--workers",
+                "2",
+                "--addr-file",
+                &addr_file,
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                run(argv, &mut buf).unwrap();
+                String::from_utf8(buf).unwrap()
+            })
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(a) = std::fs::read_to_string(&addr_file) {
+                if !a.is_empty() {
+                    break a;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never wrote {addr_file}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let q = run_to_string(&["query", "--connect", &addr, "--type", "stats"]).unwrap();
+        assert!(q.contains(r#""epoch":0"#), "got: {q}");
+        assert!(q.contains(r#""mutable":true"#), "got: {q}");
+        let q = run_to_string(&[
+            "query",
+            "--connect",
+            &addr,
+            "--request",
+            r#"{"query":"mutate","ops":[["+",0,33],["-",0,1]]}"#,
+        ])
+        .unwrap();
+        assert!(q.contains(r#""applied":2"#), "got: {q}");
+        assert!(q.contains(r#""epoch":1"#), "got: {q}");
+        let q = run_to_string(&["query", "--connect", &addr, "--type", "stats"]).unwrap();
+        assert!(q.contains(r#""epoch":1"#), "got: {q}");
+        let q = run_to_string(&[
+            "query",
+            "--connect",
+            &addr,
+            "--request",
+            r#"{"query":"shutdown"}"#,
+        ])
+        .unwrap();
+        assert!(q.contains("stopping"), "got: {q}");
+        let served = server.join().unwrap();
+        assert!(served.contains("mutable, epoch 0"), "got: {served}");
+        assert!(served.contains("mutate: 1"), "got: {served}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&addr_file).ok();
+    }
+
+    #[test]
+    fn mutable_serve_rejects_an_index() {
+        let err = run_to_string(&[
+            "serve",
+            "--graph",
+            "x.txt",
+            "--index",
+            "x.nidx",
+            "--mutable",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--mutable conflicts with --index"), "{err}");
     }
 
     #[test]

@@ -85,6 +85,7 @@ pub mod prelude {
     };
     pub use crate::export::{extract_nucleus, hierarchy_to_dot, ExtractedSubgraph};
     pub use crate::hierarchy::{Hierarchy, HierarchyNode};
+    #[allow(deprecated)]
     pub use crate::maintenance::DynamicCores;
     pub use crate::peel::{
         peel, peel_parallel, peel_parallel_with, peel_with_sink, FrontierOptions, PeelSink, Peeling,

@@ -5,7 +5,15 @@
 //! only inside the subcore of the update's lower-λ endpoint; this module
 //! exploits exactly that.
 //!
+//! **Deprecated home**: this module now lives behind the
+//! `nucleus-dynamic` crate, whose `DynamicGraph` supersedes
+//! [`DynamicCores`] with batched updates, per-batch reports, truss
+//! maintenance and scoped recompute for the higher families. The type
+//! stays here (re-exported as `nucleus_dynamic::DynamicCores`) so
+//! existing imports keep compiling.
+//!
 //! ```
+//! # #![allow(deprecated)]
 //! use nucleus_core::maintenance::DynamicCores;
 //! use nucleus_graph::CsrGraph;
 //!
@@ -20,12 +28,19 @@
 //! assert_eq!(dc.core_numbers(), &[2, 2, 2, 2]);
 //! ```
 
+#![allow(deprecated)]
+
 use nucleus_graph::CsrGraph;
 
 use crate::peel::peel;
 use crate::space::VertexSpace;
 
 /// A dynamic graph with incrementally maintained core numbers (λ₂).
+#[deprecated(
+    since = "0.1.0",
+    note = "moved to the nucleus-dynamic crate; use nucleus_dynamic::DynamicCores \
+            (or nucleus_dynamic::DynamicGraph for batched multi-family maintenance)"
+)]
 #[derive(Clone, Debug)]
 pub struct DynamicCores {
     /// Sorted adjacency lists.

@@ -165,8 +165,21 @@ impl PreparedIndex {
     /// [`CoreError::IndexMismatch`] naming the first disagreeing
     /// component (n, m, or the degree-sequence hash).
     pub fn matches(&self, g: &CsrGraph) -> Result<(), CoreError> {
+        self.matches_fingerprint(&graph_fingerprint(g))
+    }
+
+    /// Checks the stored graph fingerprint against an already-computed
+    /// `live` fingerprint — e.g. `DynamicGraph::fingerprint()` from the
+    /// `nucleus-dynamic` crate, so mutable-graph callers can fail
+    /// closed without materialising a CSR snapshot first.
+    ///
+    /// # Errors
+    /// [`CoreError::IndexMismatch`], as for [`PreparedIndex::matches`].
+    pub fn matches_fingerprint(
+        &self,
+        live: &nucleus_graph::persist_io::GraphFingerprint,
+    ) -> Result<(), CoreError> {
         let stored = self.image.header().fingerprint;
-        let live = graph_fingerprint(g);
         let reason = if stored.n != live.n {
             format!(
                 "index was built for n = {}, graph has n = {}",
@@ -344,6 +357,37 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, CoreError::IndexMismatch { .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn matches_fingerprint_fails_closed_after_mutation() {
+        let g = nucleus_gen::karate::karate_club();
+        let path = tmp("fp-mutation.nidx");
+        Nucleus::builder(&g)
+            .kind(Kind::Core)
+            .backend(Backend::Materialized)
+            .prepare()
+            .unwrap()
+            .save(&path)
+            .unwrap();
+        let index = PreparedIndex::load(&path).unwrap();
+        index.matches_fingerprint(&graph_fingerprint(&g)).unwrap();
+        // A same-n, same-m rewiring still fails: the degree hash drifts.
+        let mut edges: Vec<(u32, u32)> = g.edges().map(|(_, u, v)| (u, v)).collect();
+        let swap = edges
+            .iter()
+            .position(|&(u, v)| u == 0 && !edges.contains(&(1, v)) && v > 1)
+            .unwrap();
+        edges[swap] = (1, edges[swap].1);
+        edges.sort_unstable();
+        let rewired = CsrGraph::from_edges(g.n(), &edges);
+        assert_eq!(rewired.m(), g.m());
+        let err = index
+            .matches_fingerprint(&graph_fingerprint(&rewired))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::IndexMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("degree sequence"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

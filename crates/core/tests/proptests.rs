@@ -534,6 +534,7 @@ proptest! {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn dynamic_cores_track_recompute(
         n in 4u32..20,
         ops in proptest::collection::vec((0u32..20, 0u32..20, prop::bool::ANY), 1..60),

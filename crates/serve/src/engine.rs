@@ -23,6 +23,21 @@ use crate::protocol::{ErrorCode, ProtocolError, Query, Request};
 /// stall a worker.
 pub const DEFAULT_DENSITY_VERTEX_CAP: usize = 250_000;
 
+/// What the server needs from a query engine: answer a parsed request,
+/// and render the engine half of the `stats` payload. Implemented by
+/// the immutable [`ServeState`] and the mutable
+/// [`DynamicServeState`](crate::DynamicServeState) (which additionally
+/// accepts `mutate` and swaps epochs underneath the same trait).
+pub trait QueryAnswerer: Sync {
+    /// Answers one parsed request (everything except `shutdown`, which
+    /// the server intercepts).
+    fn answer(&self, req: &Request) -> Result<Value, ProtocolError>;
+
+    /// The `stats` payload; a server passes its request-metrics
+    /// snapshot as `metrics`, one-shot callers pass `None`.
+    fn stats_value(&self, metrics: Option<Value>) -> Value;
+}
+
 fn u<T: Into<u64>>(x: T) -> Value {
     Value::U64(x.into())
 }
@@ -148,6 +163,12 @@ impl<'g> ServeState<'g> {
                     "shutdown is a server control request; no server is attached",
                 ))
             }
+            Query::Mutate { .. } => {
+                return Err(ProtocolError::new(
+                    ErrorCode::Unsupported,
+                    "this server is immutable; restart with --mutable to accept mutate",
+                ))
+            }
             _ => {}
         }
         let algo = self.resolve_algo(req.algo)?;
@@ -160,7 +181,9 @@ impl<'g> ServeState<'g> {
             Query::Density { node } => self.answer_density(h, node),
             Query::Densest => self.answer_densest(algo),
             Query::LevelProfile => Ok(Self::level_profile_value(h)),
-            Query::Stats | Query::Shutdown => unreachable!("handled above"),
+            Query::Stats | Query::Shutdown | Query::Mutate { .. } => {
+                unreachable!("handled above")
+            }
         }
     }
 
@@ -398,6 +421,16 @@ impl<'g> ServeState<'g> {
             ("hierarchies_built".to_string(), Value::Array(built)),
             ("metrics".to_string(), metrics.unwrap_or(Value::Null)),
         ])
+    }
+}
+
+impl QueryAnswerer for ServeState<'_> {
+    fn answer(&self, req: &Request) -> Result<Value, ProtocolError> {
+        ServeState::answer(self, req)
+    }
+
+    fn stats_value(&self, metrics: Option<Value>) -> Value {
+        ServeState::stats_value(self, metrics)
     }
 }
 

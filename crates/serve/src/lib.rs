@@ -22,6 +22,12 @@
 //!   per-request metrics ([`metrics`]), per-request timeout and
 //!   oversize guards, and graceful shutdown via a `shutdown` request
 //!   or a signal file.
+//! * **[`DynamicServeState`]** — the mutable engine. Holds a
+//!   `nucleus-dynamic` graph as the source of truth and answers the
+//!   same queries from an immutable epoch of it; a `mutate` request
+//!   applies a batched edge-op stream, prepares the next epoch off the
+//!   accept loop, and atomically swaps it in (the epoch counter shows
+//!   up in `stats`).
 //!
 //! ```no_run
 //! use nucleus_core::{Kind, Nucleus};
@@ -42,6 +48,7 @@
 //! ```
 
 pub mod client;
+pub mod dynamic;
 pub mod engine;
 pub mod metrics;
 pub mod pool;
@@ -49,7 +56,8 @@ pub mod protocol;
 pub mod server;
 
 pub use client::Client;
-pub use engine::{DensestAnswer, ServeState, DEFAULT_DENSITY_VERTEX_CAP};
+pub use dynamic::DynamicServeState;
+pub use engine::{DensestAnswer, QueryAnswerer, ServeState, DEFAULT_DENSITY_VERTEX_CAP};
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use protocol::{
     err_response, ok_response, ErrorCode, ProtocolError, Query, Request, QUERY_NAMES,

@@ -21,6 +21,7 @@
 //! spellings.
 
 use nucleus_core::Algorithm;
+use nucleus_dynamic::EdgeOp;
 use serde::Value;
 
 /// Default cap on the number of cells/vertices a `members` response
@@ -140,10 +141,16 @@ pub enum Query {
     /// Ask the server to stop accepting work and exit:
     /// `{"query":"shutdown"}`.
     Shutdown,
+    /// Apply a batch of edge mutations (mutable servers only):
+    /// `{"query":"mutate","ops":[["+",0,5],["-",2,3]]}`.
+    Mutate {
+        /// The batch, in order; coalescing is the engine's business.
+        ops: Vec<EdgeOp>,
+    },
 }
 
 /// Wire names of every query type, in [`Query::slot`] order.
-pub const QUERY_NAMES: [&str; 9] = [
+pub const QUERY_NAMES: [&str; 10] = [
     "lambda",
     "nuclei_of",
     "members",
@@ -153,6 +160,7 @@ pub const QUERY_NAMES: [&str; 9] = [
     "level_profile",
     "stats",
     "shutdown",
+    "mutate",
 ];
 
 impl Query {
@@ -173,6 +181,7 @@ impl Query {
             Query::LevelProfile => 6,
             Query::Stats => 7,
             Query::Shutdown => 8,
+            Query::Mutate { .. } => 9,
         }
     }
 }
@@ -274,6 +283,7 @@ impl Request {
             "level_profile" => Query::LevelProfile,
             "stats" => Query::Stats,
             "shutdown" => Query::Shutdown,
+            "mutate" => Query::Mutate { ops: parse_ops(v)? },
             other => {
                 return Err(ProtocolError::bad_request(format!(
                     "unknown query type `{other}`; expected one of {}",
@@ -283,6 +293,47 @@ impl Request {
         };
         Ok(Request { id, algo, query })
     }
+}
+
+/// Parses the `ops` field of a `mutate` request: a non-empty array of
+/// `["+"|"-", u, v]` triples.
+fn parse_ops(v: &Value) -> Result<Vec<EdgeOp>, ProtocolError> {
+    let items = match v.field("ops") {
+        Ok(Value::Array(items)) => items,
+        Ok(_) => {
+            return Err(ProtocolError::bad_request(
+                "field `ops` must be an array of [\"+\"|\"-\", u, v] triples",
+            ))
+        }
+        Err(_) => return Err(ProtocolError::bad_request("missing field `ops`")),
+    };
+    if items.is_empty() {
+        return Err(ProtocolError::bad_request("field `ops` must be non-empty"));
+    }
+    let mut ops = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let bad = || {
+            ProtocolError::bad_request(format!(
+                "ops[{i}] must be [\"+\"|\"-\", u, v] with u, v in u32 range"
+            ))
+        };
+        let Value::Array(triple) = item else {
+            return Err(bad());
+        };
+        let [Value::Str(sign), Value::U64(u), Value::U64(v)] = triple.as_slice() else {
+            return Err(bad());
+        };
+        if *u > u32::MAX as u64 || *v > u32::MAX as u64 {
+            return Err(bad());
+        }
+        let (u, v) = (*u as u32, *v as u32);
+        ops.push(match sign.as_str() {
+            "+" => EdgeOp::Insert(u, v),
+            "-" => EdgeOp::Delete(u, v),
+            _ => return Err(bad()),
+        });
+    }
+    Ok(ops)
 }
 
 fn id_value(id: Option<u64>) -> Value {
@@ -358,6 +409,12 @@ mod tests {
             (r#"{"query":"level-profile"}"#, Query::LevelProfile),
             (r#"{"query":"stats"}"#, Query::Stats),
             (r#"{"query":"shutdown"}"#, Query::Shutdown),
+            (
+                r#"{"query":"mutate","ops":[["+",0,5],["-",2,3]]}"#,
+                Query::Mutate {
+                    ops: vec![EdgeOp::Insert(0, 5), EdgeOp::Delete(2, 3)],
+                },
+            ),
         ];
         for (line, want) in cases {
             let req = Request::parse(line).unwrap();
@@ -388,6 +445,16 @@ mod tests {
         assert_eq!(bad_algo.code, ErrorCode::Unsupported);
         let huge = Request::parse(r#"{"query":"lambda","cell":4294967296}"#).unwrap_err();
         assert_eq!(huge.code, ErrorCode::BadRequest);
+        for line in [
+            r#"{"query":"mutate"}"#,
+            r#"{"query":"mutate","ops":[]}"#,
+            r#"{"query":"mutate","ops":[["*",1,2]]}"#,
+            r#"{"query":"mutate","ops":[["+",1]]}"#,
+            r#"{"query":"mutate","ops":[["+",1,4294967296]]}"#,
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "line: {line}");
+        }
     }
 
     #[test]

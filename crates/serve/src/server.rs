@@ -1,5 +1,6 @@
 //! The TCP server: `std::net::TcpListener` + a fixed worker pool over
-//! one shared [`ServeState`].
+//! one shared [`QueryAnswerer`] (the immutable [`ServeState`](crate::ServeState) or the
+//! epoch-swapping [`DynamicServeState`](crate::DynamicServeState)).
 //!
 //! Architecture (std only, no async runtime):
 //!
@@ -14,8 +15,8 @@
 //!   [`AtomicBool`]; the accept loop closes the queue and every worker
 //!   drains out. [`serve`] then returns a final [`ServerReport`].
 //!
-//! `std::thread::scope` is what lets workers borrow `&ServeState<'g>`
-//! (which itself borrows the caller's graph) with zero `Arc`/`unsafe`:
+//! `std::thread::scope` is what lets workers borrow the answerer
+//! (which may itself borrow the caller's graph) with zero `Arc`:
 //! the compiler proves every worker exits before `serve` returns.
 
 use std::io::{ErrorKind, Read, Write};
@@ -26,7 +27,7 @@ use std::time::{Duration, Instant};
 
 use serde::Value;
 
-use crate::engine::ServeState;
+use crate::engine::QueryAnswerer;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::pool::TaskQueue;
 use crate::protocol::{err_response, ok_response, ErrorCode, ProtocolError, Query, Request};
@@ -80,9 +81,9 @@ const POLL_TICK: Duration = Duration::from_millis(25);
 ///
 /// The listener may be bound to port 0 — read the ephemeral port back
 /// with `listener.local_addr()` *before* calling this.
-pub fn serve(
+pub fn serve<S: QueryAnswerer>(
     listener: TcpListener,
-    state: &ServeState<'_>,
+    state: &S,
     config: &ServeConfig,
 ) -> std::io::Result<ServerReport> {
     listener.set_nonblocking(true)?;
@@ -139,9 +140,9 @@ pub fn serve(
 
 /// Speaks the protocol on one connection until the peer hangs up, a
 /// guard trips, or the server stops.
-fn handle_connection(
+fn handle_connection<S: QueryAnswerer>(
     stream: TcpStream,
-    state: &ServeState<'_>,
+    state: &S,
     config: &ServeConfig,
     metrics: &Metrics,
     stop: &AtomicBool,
@@ -247,8 +248,8 @@ fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
 /// the query type was recognized), whether the response is a success,
 /// the rendered response, and whether the request asked the server to
 /// shut down.
-fn dispatch(
-    state: &ServeState<'_>,
+fn dispatch<S: QueryAnswerer>(
+    state: &S,
     metrics: &Metrics,
     started: Instant,
     line: &str,

@@ -10,7 +10,9 @@ use std::time::Duration;
 use nucleus_core::{Algorithm, Kind, Nucleus, Prepared};
 use nucleus_gen as gen;
 use nucleus_graph::CsrGraph;
-use nucleus_serve::{err_response, ok_response, serve, Client, Request, ServeConfig, ServeState};
+use nucleus_serve::{
+    err_response, ok_response, serve, Client, DynamicServeState, Request, ServeConfig, ServeState,
+};
 use rand::{Rng, SeedableRng};
 use serde::Value;
 
@@ -55,8 +57,8 @@ fn random_line(rng: &mut rand::rngs::StdRng, cells: usize, nodes: usize, id: u64
 
 /// Runs `serve` on an ephemeral port and hands the bound address to
 /// `body`; returns the server's report.
-fn with_server<T>(
-    state: &ServeState<'_>,
+fn with_server<S: nucleus_serve::QueryAnswerer, T>(
+    state: &S,
     config: &ServeConfig,
     body: impl FnOnce(std::net::SocketAddr) -> T,
 ) -> (nucleus_serve::ServerReport, T) {
@@ -250,4 +252,66 @@ fn signal_file_stops_the_server() {
     let _ = std::fs::remove_file(&signal);
     assert_eq!(report.metrics.requests, 1);
     assert_eq!(report.connections, 1);
+}
+
+/// The acceptance round-trip for mutable serving: a `mutate` over TCP
+/// bumps the epoch in `stats`, and afterwards every query answer is
+/// bit-identical to a *fresh server* started on the mutated graph.
+#[test]
+fn served_mutate_swaps_epochs_and_matches_a_fresh_server() {
+    let g = gen::karate::karate_club();
+    let dynamic = DynamicServeState::new(&g, Kind::Truss).unwrap();
+    let config = ServeConfig::default();
+    let queries: Vec<String> = (0..g.m() as u64)
+        .step_by(7)
+        .map(|c| format!(r#"{{"query":"lambda","cell":{c}}}"#))
+        .chain([
+            r#"{"query":"nuclei_of","cell":3}"#.to_string(),
+            r#"{"query":"members","node":1,"limit":64}"#.to_string(),
+            r#"{"query":"subtree","node":0}"#.to_string(),
+            r#"{"query":"density","node":1}"#.to_string(),
+            r#"{"query":"densest"}"#.to_string(),
+            r#"{"query":"level_profile"}"#.to_string(),
+        ])
+        .collect();
+    with_server(&dynamic, &config, |addr| {
+        let mut client = Client::connect(addr).unwrap();
+        let stats = client.roundtrip(r#"{"query":"stats"}"#).unwrap();
+        assert!(stats.contains(r#""epoch":0"#), "{stats}");
+        assert!(stats.contains(r#""mutable":true"#), "{stats}");
+        let resp = client
+            .roundtrip(r#"{"query":"mutate","ops":[["+",0,9],["-",0,1],["-",2,3]],"id":5}"#)
+            .unwrap();
+        assert!(
+            resp.starts_with(r#"{"ok":true,"id":5,"query":"mutate""#),
+            "{resp}"
+        );
+        assert!(resp.contains(r#""applied":3"#), "{resp}");
+        assert!(resp.contains(r#""epoch":1"#), "{resp}");
+        let stats = client.roundtrip(r#"{"query":"stats"}"#).unwrap();
+        assert!(stats.contains(r#""epoch":1"#), "{stats}");
+
+        // A second server, born on the mutated snapshot, must answer
+        // every query with bit-identical bytes.
+        let mutated = {
+            let mut dg = nucleus_dynamic::DynamicGraph::topology(&g);
+            dg.apply(&[
+                nucleus_dynamic::EdgeOp::Insert(0, 9),
+                nucleus_dynamic::EdgeOp::Delete(0, 1),
+                nucleus_dynamic::EdgeOp::Delete(2, 3),
+            ]);
+            dg.to_graph()
+        };
+        let fresh = ServeState::new(prepared(&mutated, Kind::Truss));
+        with_server(&fresh, &config, |fresh_addr| {
+            let mut fresh_client = Client::connect(fresh_addr).unwrap();
+            for q in &queries {
+                let got = client.roundtrip(q).unwrap();
+                let want = fresh_client.roundtrip(q).unwrap();
+                assert_eq!(got, want, "query: {q}");
+            }
+            shutdown(fresh_addr);
+        });
+        shutdown(addr);
+    });
 }

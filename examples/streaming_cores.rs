@@ -1,65 +1,104 @@
-//! Streaming core maintenance: keep core numbers current while a social
-//! graph churns — the dynamic-data setting of §3.1 (Sarıyüce et al.'s
-//! streaming k-core, whose *subcore* notion is the paper's T₁,₂).
+//! Streaming maintenance: keep λ current while a social graph churns —
+//! the dynamic-data setting of §3.1 (Sarıyüce et al.'s streaming
+//! k-core, whose *subcore* notion is the paper's T₁,₂), generalized by
+//! the `nucleus-dynamic` crate to batched updates and more families.
 //!
-//! Simulates a growing Holme–Kim network replayed edge-by-edge with
-//! occasional deletions, and tracks the deepest core live, verifying
-//! against full recomputation at checkpoints.
+//! Replays a growing Holme–Kim network in small batches with occasional
+//! deletions through [`DynamicGraph::apply`], for both the (1,2) core
+//! and (2,3) truss maintainers, verifying against full recomputation at
+//! checkpoints.
 //!
 //! ```sh
 //! cargo run --release --example streaming_cores
 //! ```
 
-use nucleus_hierarchy::core::maintenance::DynamicCores;
+use nucleus_hierarchy::dynamic::{DynamicGraph, EdgeOp};
 use nucleus_hierarchy::gen::holme_kim::holme_kim;
 use nucleus_hierarchy::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
-fn main() {
-    let target = holme_kim(4000, 4, 0.7, 31);
-    println!(
-        "replaying {} edges over {} vertices, with 10% random deletions",
-        target.m(),
-        target.n()
-    );
+const BATCH: usize = 32;
 
-    let mut dc = DynamicCores::with_vertices(target.n());
+fn stream_family(target: &CsrGraph, kind: Kind) {
+    let mut dg = DynamicGraph::with_vertices(target.n(), kind);
     let mut rng = StdRng::seed_from_u64(7);
     let mut inserted: Vec<(u32, u32)> = Vec::new();
+    let mut pending: Vec<EdgeOp> = Vec::new();
+    let mut total = nucleus_hierarchy::dynamic::UpdateReport::default();
+    let mut batches = 0usize;
+    let mut checkpoints = 0usize;
     let t0 = Instant::now();
-    let mut checkpoints = 0;
-    for (i, (_, u, v)) in target.edges().enumerate() {
-        dc.insert_edge(u, v);
+    let edges: Vec<(u32, u32)> = target.edges().map(|(_, u, v)| (u, v)).collect();
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        pending.push(EdgeOp::Insert(u, v));
         inserted.push((u, v));
-        // occasional churn: delete a random earlier edge
+        // Occasional churn: delete a random earlier edge.
         if rng.gen_bool(0.1) && inserted.len() > 10 {
             let j = rng.gen_range(0..inserted.len());
             let (a, b) = inserted.swap_remove(j);
-            dc.remove_edge(a, b);
+            pending.push(EdgeOp::Delete(a, b));
         }
-        if i % 4000 == 0 {
-            let max_core = dc.core_numbers().iter().max().copied().unwrap_or(0);
-            println!("  step {i:>6}: m={:>6}, max core = {max_core}", dc.m());
-        }
-        // verify against a full static recompute at checkpoints
-        if i % 5000 == 2500 {
-            let snapshot = dc.to_graph();
-            let expect = peel(&VertexSpace::new(&snapshot)).lambda;
-            assert_eq!(dc.core_numbers(), expect.as_slice(), "drift at step {i}");
-            checkpoints += 1;
+        if pending.len() >= BATCH || i + 1 == edges.len() {
+            total.absorb(&dg.apply(&pending));
+            pending.clear();
+            batches += 1;
+            // Verify against a full static recompute at checkpoints.
+            if batches.is_multiple_of(16) {
+                let snapshot = dg.to_graph();
+                let expect = DynamicGraph::new(&snapshot, kind);
+                assert_eq!(
+                    dg.lambda_snapshot(&snapshot),
+                    expect.lambda_snapshot(&snapshot),
+                    "{} drift at batch {batches}",
+                    kind.name()
+                );
+                checkpoints += 1;
+            }
         }
     }
     let elapsed = t0.elapsed();
+    let ops = total.applied + total.skipped + total.coalesced;
     println!(
-        "\nprocessed {} updates in {elapsed:.2?} ({:.0} updates/s), {checkpoints} checkpoints verified",
-        target.m(),
-        target.m() as f64 / elapsed.as_secs_f64()
+        "  {:<5} [{}]: {ops} ops in {batches} batches ({} applied, {} skipped, \
+         {} coalesced) in {elapsed:.2?}; {} λ changes over {} visited cells; \
+         {checkpoints} checkpoints verified",
+        kind.name(),
+        total.strategy.name(),
+        total.applied,
+        total.skipped,
+        total.coalesced,
+        total.cells_changed,
+        total.scope_cells,
     );
+}
 
-    // Final state: full hierarchy of the surviving graph.
-    let final_graph = dc.to_graph();
+fn main() {
+    let target = holme_kim(900, 4, 0.7, 31);
+    println!(
+        "replaying {} edges over {} vertices in batches of {BATCH}, with 10% random deletions",
+        target.m(),
+        target.n()
+    );
+    stream_family(&target, Kind::Core);
+    stream_family(&target, Kind::Truss);
+
+    // Final state: full hierarchy of the surviving core graph.
+    let mut dg = DynamicGraph::with_vertices(target.n(), Kind::Core);
+    let ops: Vec<EdgeOp> = target
+        .edges()
+        .map(|(_, u, v)| EdgeOp::Insert(u, v))
+        .collect();
+    let report = dg.apply(&ops);
+    println!(
+        "one-shot rebuild: {} inserts, max core = {}",
+        report.inserted,
+        dg.core_numbers()
+            .and_then(|l| l.iter().max().copied())
+            .unwrap_or(0)
+    );
+    let final_graph = dg.to_graph();
     let d = decompose(&final_graph, Kind::Core, Algorithm::Lcps).unwrap();
     println!("final hierarchy: {}", describe(&d));
     print!("{}", render_tree(&d.hierarchy, 2, 5));

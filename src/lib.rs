@@ -14,7 +14,8 @@
 //! * [`dsf`] — classic and root-augmented disjoint-set forests;
 //! * [`cliques`] — triangle / K4 enumeration substrate;
 //! * [`gen`] — seeded synthetic generators and surrogate datasets;
-//! * [`core`] — peeling, hierarchies, and the algorithms themselves.
+//! * [`core`] — peeling, hierarchies, and the algorithms themselves;
+//! * [`dynamic`] — batched incremental maintenance for mutable graphs.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and the
 //! `nucleus-bench` crate for the harness that regenerates every table
@@ -23,11 +24,13 @@
 pub use nucleus_cliques as cliques;
 pub use nucleus_core as core;
 pub use nucleus_dsf as dsf;
+pub use nucleus_dynamic as dynamic;
 pub use nucleus_gen as gen;
 pub use nucleus_graph as graph;
 
 /// Everything a typical application needs.
 pub mod prelude {
     pub use nucleus_core::prelude::*;
+    pub use nucleus_dynamic::{DynamicGraph, EdgeOp, UpdateReport};
     pub use nucleus_graph::{CsrGraph, GraphBuilder};
 }

@@ -1,6 +1,6 @@
 //! Smoke test: the showcase examples must build *and run* — otherwise
 //! `examples/` rots silently, since example code is never exercised by
-//! unit tests. Runs the two examples the README points newcomers at.
+//! unit tests. Runs the examples the README points newcomers at.
 
 use std::process::Command;
 
@@ -35,6 +35,25 @@ fn quickstart_example_runs() {
     assert!(
         out.contains("k-truss hierarchy"),
         "quickstart output changed shape:\n{out}"
+    );
+}
+
+#[test]
+fn streaming_cores_example_runs() {
+    let out = run_example("streaming_cores");
+    // Both maintained families verify against full recomputation at
+    // every checkpoint, and the run ends with a full hierarchy.
+    assert!(
+        out.contains("checkpoints verified"),
+        "streaming_cores output changed shape:\n{out}"
+    );
+    assert!(
+        out.contains("[incremental]"),
+        "streaming_cores no longer reports its update strategy:\n{out}"
+    );
+    assert!(
+        out.contains("final hierarchy"),
+        "streaming_cores output changed shape:\n{out}"
     );
 }
 
